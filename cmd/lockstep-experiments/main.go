@@ -1,0 +1,229 @@
+// Command lockstep-experiments reproduces the paper's evaluation: it runs
+// (or loads) a fault-injection campaign and regenerates every data-bearing
+// table and figure, printing measured values side by side with the paper's
+// published numbers.
+//
+// Usage:
+//
+//	lockstep-experiments [-scale small|default|full] [-exp all|table1|...]
+//	                     [-data campaign.csv] [-save campaign.csv]
+//	                     [-html report.html] [-quiet]
+//
+// Experiments: table1 units table2 table3 table4 fig4 fig5 fig11 fig12
+// fig13 fig14 fig15 fig16 onoffchip lbist spread ablation window summary
+// all.
+// ("window" re-runs reduced campaigns at several checker stop-latency
+// settings, so it takes noticeably longer than the others.) Figures
+// 12/13 (and 15/16) share one computation and print together. -html
+// additionally renders every table and figure into a self-contained HTML
+// page with SVG charts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lockstep/internal/dataset"
+	"lockstep/internal/experiments"
+	"lockstep/internal/report"
+	"lockstep/internal/sbist"
+
+	"lockstep/internal/core"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "default", "campaign scale: small, default or full")
+		expList   = flag.String("exp", "all", "comma-separated experiments to run (see doc)")
+		dataPath  = flag.String("data", "", "load campaign log from CSV instead of re-running")
+		savePath  = flag.String("save", "", "save the campaign log to CSV")
+		htmlPath  = flag.String("html", "", "also write a self-contained HTML report with SVG charts")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstep-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, expList, dataPath, savePath, htmlPath string, quiet bool) error {
+	scale, err := experiments.ScaleByName(scaleName)
+	if err != nil {
+		return err
+	}
+
+	var ctx *experiments.Context
+	if dataPath != "" {
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		ds, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ctx, err = experiments.NewContextFromData(scale, ds)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("loaded %d experiments from %s\n", ds.Len(), dataPath)
+		}
+	} else {
+		progress := func(done, total int) {
+			if quiet {
+				return
+			}
+			if done%5000 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rcampaign: %d/%d experiments", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "running %s campaign (%d experiments)...\n",
+				scale.Name, scale.Config().Total())
+		}
+		ctx, err = experiments.NewContext(scale, progress)
+		if err != nil {
+			return err
+		}
+	}
+
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return err
+		}
+		if err := ctx.DS.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("saved campaign log to %s\n", savePath)
+		}
+	}
+
+	if htmlPath != "" {
+		f, err := os.Create(htmlPath)
+		if err != nil {
+			return err
+		}
+		if err := report.Generate(f, ctx); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("wrote HTML report to %s\n", htmlPath)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+	out := os.Stdout
+
+	if sel("summary") {
+		experiments.PrintSummary(out, ctx.Summary())
+		ran = true
+	}
+	if sel("table1") {
+		ctx.Table1().Print(out)
+		ran = true
+	}
+	if sel("units") {
+		ctx.Units(core.Coarse7).Print(out)
+		ctx.Units(core.Fine13).Print(out)
+		ran = true
+	}
+	if sel("table2") {
+		ctx.Table2().Print(out)
+		ran = true
+	}
+	if sel("table3") {
+		ctx.Table3().Print(out)
+		ran = true
+	}
+	if sel("table4") {
+		experiments.PrintTable4(out, ctx.Table4())
+		ran = true
+	}
+	if sel("fig4") {
+		ctx.FigUnitBC(true).Print(out)
+		ran = true
+	}
+	if sel("fig5") {
+		ctx.FigUnitBC(false).Print(out)
+		ran = true
+	}
+	if sel("fig11") {
+		ctx.Compare(core.Coarse7, sbist.OnChipTableAccess).Print(out)
+		ran = true
+	}
+	if sel("onoffchip") {
+		ctx.OnOffChipAnalysis().Print(out)
+		ran = true
+	}
+	if sel("fig12", "fig13") {
+		ctx.SweepTopK(core.Coarse7).Print(out)
+		ran = true
+	}
+	if sel("fig14") {
+		ctx.Compare(core.Fine13, sbist.OnChipTableAccess).Print(out)
+		ran = true
+	}
+	if sel("fig15", "fig16") {
+		ctx.SweepTopK(core.Fine13).Print(out)
+		ran = true
+	}
+	if sel("lbist") {
+		ctx.CompareLBIST(core.Coarse7, sbist.OffChipTableAccess).Print(out)
+		ran = true
+	}
+	if sel("spread") {
+		ctx.SpreadAnalysis().Print(out)
+		ran = true
+	}
+	if sel("ablation") {
+		ctx.AblationDynamic().Print(out)
+		ran = true
+	}
+	if sel("window") {
+		sw, err := ctx.SweepStopWindow(nil)
+		if err != nil {
+			return err
+		}
+		sw.Print(out)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("no known experiment in %q", expList)
+	}
+	return nil
+}

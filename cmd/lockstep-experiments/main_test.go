@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockstep/internal/experiments"
+	"lockstep/internal/inject"
+)
+
+// writeSmallCampaign saves a tiny campaign log for CLI tests.
+func writeSmallCampaign(t *testing.T) string {
+	t.Helper()
+	cfg := experiments.Small.Config()
+	cfg.FlopStride = 24
+	ds, err := inject.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFromDataAllExperiments(t *testing.T) {
+	path := writeSmallCampaign(t)
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+
+	if err := run("small", "all", path, "", "", true); err != nil {
+		t.Fatalf("run all: %v", err)
+	}
+	if err := run("small", "table1,fig12", path, "", "", true); err != nil {
+		t.Fatalf("run subset: %v", err)
+	}
+}
+
+func TestRunSaveRoundTrip(t *testing.T) {
+	path := writeSmallCampaign(t)
+	save := filepath.Join(t.TempDir(), "resave.csv")
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run("small", "table2", path, save, "", true); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("resaved campaign differs from the loaded one")
+	}
+}
+
+func TestRunWritesHTMLReport(t *testing.T) {
+	path := writeSmallCampaign(t)
+	html := filepath.Join(t.TempDir(), "report.html")
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run("small", "table1", path, "", html, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 10_000 || !strings.Contains(string(data), "<svg") {
+		t.Fatalf("HTML report implausible: %d bytes", len(data))
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("bogus-scale", "all", "", "", "", true); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", true); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+	path := writeSmallCampaign(t)
+	old := os.Stdout
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+	if err := run("small", "nosuchexperiment", path, "", "", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockstep/internal/inject"
+)
+
+func shard(t *testing.T, kernel string, seed int64) string {
+	t.Helper()
+	ds, err := inject.Run(inject.Config{
+		Kernels:               []string{kernel},
+		RunCycles:             5000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            64,
+		Seed:                  seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), kernel+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeDisjointShards(t *testing.T) {
+	a := shard(t, "ttsprk", 1)
+	b := shard(t, "puwmod", 1)
+	merged, st, err := merge([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.duplicates != 0 {
+		t.Fatalf("%d duplicates in disjoint shards", st.duplicates)
+	}
+	kernels := map[string]bool{}
+	for _, r := range merged.Records {
+		kernels[r.Kernel] = true
+	}
+	if !kernels["ttsprk"] || !kernels["puwmod"] {
+		t.Fatal("merged dataset missing a shard's kernel")
+	}
+}
+
+func TestMergeDropsExactDuplicates(t *testing.T) {
+	a := shard(t, "rspeed", 3)
+	merged, st, err := merge([]string{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.duplicates != merged.Len() {
+		t.Fatalf("duplicates %d, want %d", st.duplicates, merged.Len())
+	}
+}
+
+func TestMergeRejectsConflicts(t *testing.T) {
+	a := shard(t, "rspeed", 3)
+	// Corrupt a copy: flip one record's detection flag.
+	data, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := string(data)
+	// Find a ",true," and make it ",false," on exactly one line (the
+	// detected column is the 7th field).
+	b := filepath.Join(t.TempDir(), "conflict.csv")
+	changed := false
+	out := ""
+	for _, line := range splitLines(lines) {
+		if !changed && contains(line, ",true,") {
+			line = replaceFirst(line, ",true,", ",false,")
+			changed = true
+		}
+		out += line + "\n"
+	}
+	if !changed {
+		t.Skip("no detected record to corrupt")
+	}
+	if err := os.WriteFile(b, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := merge([]string{a, b}); err == nil {
+		t.Fatal("conflicting shards accepted")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func replaceFirst(s, old, new string) string {
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	return s
+}

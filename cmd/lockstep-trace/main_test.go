@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() { os.Stdout = old; null.Close() })
+}
+
+func TestTraceByRegister(t *testing.T) {
+	silence(t)
+	if err := run("rspeed", -1, "LSUAddr", 9, "stuck1", 3000, 16, 8000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceByFlopIndex(t *testing.T) {
+	silence(t)
+	if err := run("puwmod", 100, "", 0, "soft", 2000, 8, 6000); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("puwmod", 100, "", 0, "stuck0", 2000, 8, 6000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRejectsBadInputs(t *testing.T) {
+	silence(t)
+	cases := []error{
+		run("nosuch", 0, "", 0, "soft", 100, 8, 1000),
+		run("rspeed", 0, "", 0, "gamma-ray", 100, 8, 1000),
+		run("rspeed", -1, "NoSuchReg", 0, "soft", 100, 8, 1000),
+		run("rspeed", 1<<30, "", 0, "soft", 100, 8, 1000),
+		run("rspeed", 0, "", 0, "soft", 5000, 8, 1000), // cycle beyond horizon
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Command lockstep-train builds the static error-correlation prediction
+// table (Figure 10 of the paper) from a campaign log produced by
+// lockstep-inject, reports its geometry (distinct diverged-SC sets, PTAR
+// width, table bytes) and accuracy on a held-out split, and optionally
+// dumps the table contents.
+//
+// Usage:
+//
+//	lockstep-train -data campaign.csv [-gran 7|13] [-topk N]
+//	               [-train-frac 0.8] [-seed N] [-dump N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lockstep/internal/core"
+	"lockstep/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "campaign CSV from lockstep-inject (required)")
+		granFlag  = flag.Int("gran", 7, "CPU unit granularity: 7 (coarse) or 13 (fine)")
+		topK      = flag.Int("topk", 0, "units stored per entry (0 = all)")
+		trainFrac = flag.Float64("train-frac", 0.8, "training fraction of the split")
+		seed      = flag.Int64("seed", 1, "split seed")
+		dump      = flag.Int("dump", 0, "dump the N most-populated table entries")
+		outImage  = flag.String("o", "", "write the binary prediction-table image (the ROM the ECU flashes)")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *granFlag, *topK, *trainFrac, *seed, *dump, *outImage); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstep-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath string, granFlag, topK int, trainFrac float64, seed int64, dump int, outImage string) error {
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	var gran core.Granularity
+	switch granFlag {
+	case 7:
+		gran = core.Coarse7
+	case 13:
+		gran = core.Fine13
+	default:
+		return fmt.Errorf("-gran must be 7 or 13")
+	}
+
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	ds, err := dataset.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	train, test := ds.Split(rng, trainFrac)
+	table := core.Train(train, gran, topK)
+
+	fmt.Printf("trained %v\n", table)
+	fmt.Printf("  training records: %d (%d detected)\n", train.Len(), train.Manifested().Len())
+	fmt.Printf("  table: %d entries + default, %d bits each at top-%d, %d bytes total\n",
+		table.Dict.Len(), tableEntryBits(table), effectiveK(table), (table.TableBits()+7)/8)
+
+	balanced := test.Balanced(rng)
+	soft, hard, overall := table.TypeAccuracy(balanced)
+	fmt.Printf("  held-out type accuracy (balanced): soft %.1f%%, hard %.1f%%, overall %.1f%%\n",
+		100*soft, 100*hard, 100*overall)
+	for _, k := range []int{1, 2, 3, effectiveK(table)} {
+		fmt.Printf("  held-out location accuracy (top-%d): %.1f%%\n",
+			k, 100*table.LocationAccuracy(balanced, k))
+	}
+
+	if outImage != "" {
+		f, err := os.Create(outImage)
+		if err != nil {
+			return err
+		}
+		n, err := table.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  wrote table image: %s (%d bytes)\n", outImage, n)
+	}
+
+	if dump > 0 {
+		ids := table.SortedSetsByCount()
+		if len(ids) > dump {
+			ids = ids[:dump]
+		}
+		fmt.Println("  most-populated entries:")
+		for _, id := range ids {
+			e := table.Entries[id]
+			fmt.Printf("    PTAR %4d  DSR %016x  n=%-5d type=%s  order=%s\n",
+				id, table.Dict.Set(id), e.Count, typeName(e.HardBit), orderNames(gran, e.Order))
+		}
+	}
+	return nil
+}
+
+func effectiveK(t *core.Table) int {
+	if t.TopK > 0 && t.TopK < t.Gran.Units() {
+		return t.TopK
+	}
+	return t.Gran.Units()
+}
+
+func tableEntryBits(t *core.Table) int {
+	return t.TableBits() / (t.Dict.Len() + 1)
+}
+
+func typeName(hard bool) string {
+	if hard {
+		return "hard"
+	}
+	return "soft"
+}
+
+func orderNames(gran core.Granularity, order []uint8) string {
+	s := ""
+	for i, u := range order {
+		if i > 0 {
+			s += ">"
+		}
+		s += gran.UnitName(int(u))
+	}
+	return s
+}

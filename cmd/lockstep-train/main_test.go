@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lockstep/internal/inject"
+)
+
+func campaignFile(t *testing.T) string {
+	t.Helper()
+	ds, err := inject.Run(inject.Config{
+		Kernels:               []string{"ttsprk"},
+		RunCycles:             6000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            8,
+		Seed:                  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTrainCLI(t *testing.T) {
+	path := campaignFile(t)
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	for _, gran := range []int{7, 13} {
+		if err := run(path, gran, 0, 0.8, 1, 5, ""); err != nil {
+			t.Fatalf("gran %d: %v", gran, err)
+		}
+	}
+	if err := run(path, 7, 3, 0.8, 1, 0, filepath.Join(t.TempDir(), "table.bin")); err != nil {
+		t.Fatalf("top-3: %v", err)
+	}
+}
+
+func TestTrainCLIRejectsBadInputs(t *testing.T) {
+	if err := run("", 7, 0, 0.8, 1, 0, ""); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+	if err := run("/nonexistent.csv", 7, 0, 0.8, 1, 0, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := campaignFile(t)
+	if err := run(path, 9, 0, 0.8, 1, 0, ""); err == nil {
+		t.Fatal("bad granularity accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Command sr5-asm assembles SR32 assembly into a word-hex listing or a
+// little-endian binary image.
+//
+// Usage:
+//
+//	sr5-asm [-o out.bin] [-format hex|bin|list] prog.s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/isa"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "-", "output path (\"-\" for stdout)")
+		format = flag.String("format", "list", "output format: hex, bin or list")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sr5-asm [-o out] [-format hex|bin|list] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sr5-asm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sr5-asm:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sr5-asm:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *format {
+	case "bin":
+		buf := make([]byte, 4)
+		for _, word := range prog.Words {
+			binary.LittleEndian.PutUint32(buf, word)
+			if _, err := w.Write(buf); err != nil {
+				fmt.Fprintln(os.Stderr, "sr5-asm:", err)
+				os.Exit(1)
+			}
+		}
+	case "hex":
+		for _, word := range prog.Words {
+			fmt.Fprintf(w, "%08x\n", word)
+		}
+	case "list":
+		fmt.Fprintf(w, "; origin 0x%x, entry 0x%x, %d words\n",
+			prog.Origin, prog.Entry, len(prog.Words))
+		for i, word := range prog.Words {
+			addr := prog.Origin + uint32(i*4)
+			fmt.Fprintf(w, "%08x: %08x  %s\n", addr, word, isa.Disassemble(isa.Decode(word)))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sr5-asm: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,111 @@
+// Command sr5-run executes an SR32 assembly program on the functional
+// simulator (default) or on the cycle-accurate pipelined SR5 model, then
+// prints the architectural registers and peripheral actuator state.
+//
+// Usage:
+//
+//	sr5-run [-engine iss|cpu] [-max N] [-kernel name] [prog.s]
+//
+// Either a source file or -kernel (a built-in AutoBench-style workload) is
+// required.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/iss"
+	"lockstep/internal/mem"
+	"lockstep/internal/workload"
+)
+
+var dumpState bool
+
+func main() {
+	var (
+		engine = flag.String("engine", "iss", "execution engine: iss (functional) or cpu (cycle-accurate)")
+		max    = flag.Int("max", 1_000_000, "max instructions (iss) or cycles (cpu)")
+		kernel = flag.String("kernel", "", "run a built-in workload kernel instead of a source file")
+		dump   = flag.Bool("dump", false, "dump the full pipeline state at the end (cpu engine)")
+	)
+	flag.Parse()
+	dumpState = *dump
+	if err := run(*engine, *max, *kernel, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "sr5-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(engine string, max int, kernel string, args []string) error {
+	var prog *asm.Program
+	var err error
+	switch {
+	case kernel != "":
+		k := workload.ByName(kernel)
+		if k == nil {
+			return fmt.Errorf("unknown kernel %q (try ttsprk, rspeed, matrix, ...)", kernel)
+		}
+		prog, err = k.Program()
+	case len(args) == 1:
+		var src []byte
+		src, err = os.ReadFile(args[0])
+		if err == nil {
+			prog, err = asm.Assemble(string(src))
+		}
+	default:
+		return fmt.Errorf("need a source file or -kernel")
+	}
+	if err != nil {
+		return err
+	}
+
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		return err
+	}
+
+	var regs [16]uint32
+	switch engine {
+	case "iss":
+		m := iss.New(sys, prog.Entry)
+		n, err := m.Run(max)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("iss: %d instructions, halted=%v, pc=0x%x\n", n, m.Halted, m.PC)
+		regs = m.Regs
+	case "cpu":
+		c := cpu.New(sys, prog.Entry)
+		n := c.Run(max)
+		fmt.Printf("cpu: %d cycles, %d instructions retired, halted=%v",
+			n, c.State.RetCnt, c.State.Halted)
+		if c.State.Trapped() {
+			fmt.Printf(", TRAP cause=%d epc=0x%x", c.State.ExcCause, c.State.EPC)
+		}
+		fmt.Println()
+		if dumpState {
+			c.State.Dump(os.Stdout)
+		}
+		regs = c.State.Regs
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+
+	for i := 0; i < 16; i += 4 {
+		fmt.Printf("  r%-2d=%08x r%-2d=%08x r%-2d=%08x r%-2d=%08x\n",
+			i, regs[i], i+1, regs[i+1], i+2, regs[i+2], i+3, regs[i+3])
+	}
+	ext := sys.Ext()
+	if ext.Writes > 0 {
+		fmt.Printf("peripheral: %d writes, %d reads; actuator slots:\n", ext.Writes, ext.Reads)
+		for i, v := range ext.Actuator {
+			if v != 0 {
+				fmt.Printf("  [%2d] 0x%08x (%d)\n", i, v, v)
+			}
+		}
+	}
+	return nil
+}

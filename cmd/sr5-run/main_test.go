@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	t.Cleanup(func() { os.Stdout = old; null.Close() })
+}
+
+func TestRunKernelBothEngines(t *testing.T) {
+	silenceStdout(t)
+	for _, engine := range []string{"iss", "cpu"} {
+		if err := run(engine, 20000, "ttsprk", nil); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+}
+
+func TestRunSourceFile(t *testing.T) {
+	silenceStdout(t)
+	src := filepath.Join(t.TempDir(), "p.s")
+	prog := "        li r1, 5\n        mul r2, r1, r1\n        halt\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("iss", 100, "", []string{src}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("cpu", 1000, "", []string{src}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	silenceStdout(t)
+	if err := run("iss", 100, "", nil); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run("iss", 100, "nosuchkernel", nil); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if err := run("warp", 100, "ttsprk", nil); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run("iss", 100, "", []string{"/nonexistent.s"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

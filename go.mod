@@ -1,0 +1,3 @@
+module lockstep
+
+go 1.22

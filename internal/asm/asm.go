@@ -1,0 +1,871 @@
+// Package asm implements a two-pass assembler for the SR32 instruction set.
+//
+// Syntax overview:
+//
+//	; comment (also "#" and "//")
+//	        .equ  N, 16          ; named constant
+//	        .org  0x100          ; set location counter (byte address)
+//	start:  li    r1, table      ; pseudo-instruction, expands to lui+ori
+//	loop:   lw    r2, 0(r1)
+//	        addi  r1, r1, 4
+//	        bne   r2, r0, loop
+//	        halt
+//	table:  .word 1, 2, 3
+//	buf:    .space 64            ; zero-filled bytes
+//
+// Registers are written r0..r15; the aliases zero (r0), sp (r14) and
+// lr (r15) are accepted. Immediate operands are integer literals
+// (decimal, 0x hex, 0b binary, optionally negated), symbols, or
+// sums/differences of those.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lockstep/internal/isa"
+)
+
+// Program is the output of the assembler: a flat little-endian image of
+// words starting at Origin, plus the symbol table.
+type Program struct {
+	Origin  uint32            // byte address of Words[0]
+	Words   []uint32          // assembled machine words / data words
+	Symbols map[string]uint32 // label and .equ values
+	Entry   uint32            // entry PC (address of the first instruction)
+}
+
+// Error is an assembly error annotated with the 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// statement is one parsed source line after label extraction.
+type statement struct {
+	line     int
+	label    string
+	mnemonic string
+	operands []string
+	addr     uint32 // assigned in pass 1
+	size     uint32 // bytes emitted
+}
+
+// Assemble translates SR32 assembly source into a Program.
+func Assemble(src string) (*Program, error) {
+	stmts, symbols, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := layout(stmts, symbols); err != nil {
+		return nil, err
+	}
+	return emit(stmts, symbols)
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error. Used by the workload package whose kernels are compiled in.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parse(src string) ([]*statement, map[string]uint32, error) {
+	var stmts []*statement
+	symbols := make(map[string]uint32)
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		st := &statement{line: line}
+		// Labels: one or more "name:" prefixes.
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 {
+				break
+			}
+			head := strings.TrimSpace(text[:idx])
+			if !isIdent(head) {
+				break
+			}
+			if st.label != "" {
+				// Two labels on one line: register the first at the same
+				// address by emitting an empty statement for it.
+				stmts = append(stmts, &statement{line: line, label: st.label})
+			}
+			st.label = head
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text != "" {
+			fields := strings.SplitN(text, " ", 2)
+			st.mnemonic = strings.ToLower(strings.TrimSpace(fields[0]))
+			if len(fields) == 2 {
+				st.operands = splitOperands(fields[1])
+			}
+		}
+		if st.label == "" && st.mnemonic == "" {
+			continue
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, symbols, nil
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if idx := strings.Index(s, marker); idx >= 0 {
+			s = s[:idx]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	esc := false
+	flush := func() {
+		p := strings.TrimSpace(cur.String())
+		if p != "" {
+			out = append(out, p)
+		}
+		cur.Reset()
+	}
+	for _, r := range s {
+		switch {
+		case esc:
+			esc = false
+			cur.WriteRune(r)
+		case inStr && r == '\\':
+			esc = true
+			cur.WriteRune(r)
+		case r == '"':
+			inStr = !inStr
+			cur.WriteRune(r)
+		case r == ',' && !inStr:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// parseStringLit decodes a double-quoted string operand with the escapes
+// \\, \", \n, \t, \r and \0.
+func parseStringLit(s string, line int) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, errf(line, "expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, errf(line, "dangling escape in string")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\', '"':
+			out = append(out, body[i])
+		default:
+			return nil, errf(line, "unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}
+
+// layout runs pass 1: assign addresses and sizes, collect symbols.
+func layout(stmts []*statement, symbols map[string]uint32) error {
+	var pc uint32
+	for _, st := range stmts {
+		st.addr = pc
+		if st.label != "" {
+			if _, dup := symbols[st.label]; dup {
+				return errf(st.line, "duplicate symbol %q", st.label)
+			}
+			symbols[st.label] = pc
+		}
+		if st.mnemonic == "" {
+			continue
+		}
+		switch st.mnemonic {
+		case ".equ":
+			if len(st.operands) != 2 {
+				return errf(st.line, ".equ needs name, value")
+			}
+			name := st.operands[0]
+			if !isIdent(name) {
+				return errf(st.line, ".equ: bad name %q", name)
+			}
+			if _, dup := symbols[name]; dup {
+				return errf(st.line, "duplicate symbol %q", name)
+			}
+			v, err := evalExpr(st.operands[1], symbols, st.line)
+			if err != nil {
+				return err
+			}
+			symbols[name] = uint32(v)
+		case ".org":
+			if len(st.operands) != 1 {
+				return errf(st.line, ".org needs one operand")
+			}
+			v, err := evalExpr(st.operands[0], symbols, st.line)
+			if err != nil {
+				return err
+			}
+			if uint32(v) < pc {
+				return errf(st.line, ".org 0x%x moves location counter backwards (pc=0x%x)", uint32(v), pc)
+			}
+			pc = uint32(v)
+			st.addr = pc
+			if st.label != "" {
+				symbols[st.label] = pc
+			}
+		case ".word":
+			if pc%4 != 0 {
+				return errf(st.line, ".word at unaligned address 0x%x; insert .align 4", pc)
+			}
+			st.size = uint32(len(st.operands)) * 4
+			pc += st.size
+		case ".byte":
+			st.size = uint32(len(st.operands))
+			pc += st.size
+		case ".half":
+			if pc%2 != 0 {
+				return errf(st.line, ".half at unaligned address 0x%x; insert .align 2", pc)
+			}
+			st.size = uint32(len(st.operands)) * 2
+			pc += st.size
+		case ".ascii", ".asciz":
+			if len(st.operands) != 1 {
+				return errf(st.line, "%s needs one quoted string", st.mnemonic)
+			}
+			b, err := parseStringLit(st.operands[0], st.line)
+			if err != nil {
+				return err
+			}
+			st.size = uint32(len(b))
+			if st.mnemonic == ".asciz" {
+				st.size++
+			}
+			pc += st.size
+		case ".align":
+			if len(st.operands) != 1 {
+				return errf(st.line, ".align needs one operand")
+			}
+			v, err := evalExpr(st.operands[0], symbols, st.line)
+			if err != nil {
+				return err
+			}
+			if v < 1 || v > 4096 || v&(v-1) != 0 {
+				return errf(st.line, ".align %d is not a power of two in [1, 4096]", v)
+			}
+			a := uint32(v)
+			pad := (a - pc%a) % a
+			st.size = pad
+			pc += pad
+		case ".space":
+			if len(st.operands) != 1 {
+				return errf(st.line, ".space needs one operand")
+			}
+			v, err := evalExpr(st.operands[0], symbols, st.line)
+			if err != nil {
+				return err
+			}
+			if v < 0 {
+				return errf(st.line, ".space size must be non-negative, got %d", v)
+			}
+			st.size = uint32(v)
+			pc += st.size
+		default:
+			if pc%4 != 0 {
+				return errf(st.line, "instruction at unaligned address 0x%x; insert .align 4", pc)
+			}
+			n, err := instrWords(st, symbols)
+			if err != nil {
+				return err
+			}
+			st.size = n * 4
+			pc += st.size
+		}
+	}
+	return nil
+}
+
+// instrWords reports how many machine words a mnemonic expands to.
+// The answer must not depend on symbol *values* (only on their presence),
+// so that pass 1 layout is stable.
+func instrWords(st *statement, symbols map[string]uint32) (uint32, error) {
+	switch st.mnemonic {
+	case "li", "la":
+		if len(st.operands) != 2 {
+			return 0, errf(st.line, "%s needs rd, value", st.mnemonic)
+		}
+		// A plain literal that fits the 18-bit immediate uses one word;
+		// anything symbolic conservatively uses two.
+		if v, ok := literalValue(st.operands[1]); ok &&
+			v >= isa.Imm18Min && v <= isa.Imm18Max {
+			return 1, nil
+		}
+		return 2, nil
+	case "nop", "mv", "not", "neg", "j", "jr", "call", "ret", "inc", "dec":
+		return 1, nil
+	}
+	if opFromMnemonic(st.mnemonic).Valid() {
+		return 1, nil
+	}
+	return 0, errf(st.line, "unknown mnemonic %q", st.mnemonic)
+}
+
+func literalValue(s string) (int64, bool) {
+	v, err := parseInt(s)
+	return v, err == nil
+}
+
+// emit runs pass 2.
+func emit(stmts []*statement, symbols map[string]uint32) (*Program, error) {
+	if len(stmts) == 0 {
+		return &Program{Symbols: symbols}, nil
+	}
+	// Find image bounds.
+	var lo, hi uint32
+	lo = ^uint32(0)
+	for _, st := range stmts {
+		if st.size == 0 {
+			continue
+		}
+		if st.addr < lo {
+			lo = st.addr
+		}
+		if st.addr+st.size > hi {
+			hi = st.addr + st.size
+		}
+	}
+	if lo == ^uint32(0) {
+		return &Program{Symbols: symbols}, nil
+	}
+	lo &^= 3 // word-align the image base
+	words := make([]uint32, (hi-lo+3)/4)
+	put := func(addr, w uint32) { words[(addr-lo)/4] = w }
+	putByte := func(addr uint32, b byte) {
+		shift := 8 * (addr & 3)
+		i := (addr - lo) / 4
+		words[i] = words[i]&^(0xFF<<shift) | uint32(b)<<shift
+	}
+
+	entry := uint32(0)
+	entrySet := false
+	for _, st := range stmts {
+		if st.mnemonic == "" || strings.HasPrefix(st.mnemonic, ".") {
+			switch st.mnemonic {
+			case ".word":
+				for i, opnd := range st.operands {
+					v, err := evalExpr(opnd, symbols, st.line)
+					if err != nil {
+						return nil, err
+					}
+					put(st.addr+uint32(i)*4, uint32(v))
+				}
+			case ".byte":
+				for i, opnd := range st.operands {
+					v, err := evalExpr(opnd, symbols, st.line)
+					if err != nil {
+						return nil, err
+					}
+					if v < -128 || v > 255 {
+						return nil, errf(st.line, ".byte value %d out of range", v)
+					}
+					putByte(st.addr+uint32(i), byte(v))
+				}
+			case ".half":
+				for i, opnd := range st.operands {
+					v, err := evalExpr(opnd, symbols, st.line)
+					if err != nil {
+						return nil, err
+					}
+					if v < -32768 || v > 65535 {
+						return nil, errf(st.line, ".half value %d out of range", v)
+					}
+					addr := st.addr + uint32(i)*2
+					putByte(addr, byte(v))
+					putByte(addr+1, byte(uint32(v)>>8))
+				}
+			case ".ascii", ".asciz":
+				b, err := parseStringLit(st.operands[0], st.line)
+				if err != nil {
+					return nil, err
+				}
+				if st.mnemonic == ".asciz" {
+					b = append(b, 0)
+				}
+				for i, c := range b {
+					putByte(st.addr+uint32(i), c)
+				}
+			}
+			continue
+		}
+		ws, err := encodeStatement(st, symbols)
+		if err != nil {
+			return nil, err
+		}
+		if !entrySet {
+			entry = st.addr
+			entrySet = true
+		}
+		for i, w := range ws {
+			put(st.addr+uint32(i)*4, w)
+		}
+	}
+	return &Program{Origin: lo, Words: words, Symbols: symbols, Entry: entry}, nil
+}
+
+func encodeStatement(st *statement, symbols map[string]uint32) ([]uint32, error) {
+	ops := st.operands
+	switch st.mnemonic {
+	case "nop":
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpADDI})}, nil
+	case "mv":
+		rd, rs, err := twoRegs(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rs})}, nil
+	case "not":
+		rd, rs, err := twoRegs(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})}, nil
+	case "neg":
+		rd, rs, err := twoRegs(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpSUB, Rd: rd, Rs2: rs})}, nil
+	case "inc":
+		rd, err := oneReg(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: 1})}, nil
+	case "dec":
+		rd, err := oneReg(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rd, Imm: -1})}, nil
+	case "li", "la":
+		if len(ops) != 2 {
+			return nil, errf(st.line, "%s needs rd, value", st.mnemonic)
+		}
+		rd, err := reg(ops[0], st.line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := evalExpr(ops[1], symbols, st.line)
+		if err != nil {
+			return nil, err
+		}
+		return encodeLI(st, rd, uint32(v))
+	case "j":
+		if len(ops) != 1 {
+			return nil, errf(st.line, "j needs a target")
+		}
+		off, err := branchOffset(ops[0], st, symbols)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpJAL, Rd: 0, Imm: off})}, nil
+	case "call":
+		if len(ops) != 1 {
+			return nil, errf(st.line, "call needs a target")
+		}
+		off, err := branchOffset(ops[0], st, symbols)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpJAL, Rd: 15, Imm: off})}, nil
+	case "ret":
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: 15})}, nil
+	case "jr":
+		rd, err := oneReg(st)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: rd})}, nil
+	}
+
+	op := opFromMnemonic(st.mnemonic)
+	if !op.Valid() {
+		return nil, errf(st.line, "unknown mnemonic %q", st.mnemonic)
+	}
+	in := isa.Instr{Op: op}
+	switch isa.FormatOf(op) {
+	case isa.FormatR:
+		if len(ops) != 3 {
+			return nil, errf(st.line, "%s needs rd, rs1, rs2", op)
+		}
+		var err error
+		if in.Rd, err = reg(ops[0], st.line); err != nil {
+			return nil, err
+		}
+		if in.Rs1, err = reg(ops[1], st.line); err != nil {
+			return nil, err
+		}
+		if in.Rs2, err = reg(ops[2], st.line); err != nil {
+			return nil, err
+		}
+	case isa.FormatI:
+		switch {
+		case isa.IsLoad(op):
+			if len(ops) != 2 {
+				return nil, errf(st.line, "%s needs rd, off(rs1)", op)
+			}
+			var err error
+			if in.Rd, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+			if in.Rs1, in.Imm, err = memOperand(ops[1], symbols, st.line); err != nil {
+				return nil, err
+			}
+		case op == isa.OpRDCYC:
+			if len(ops) != 1 {
+				return nil, errf(st.line, "rdcyc needs rd")
+			}
+			var err error
+			if in.Rd, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+		case op == isa.OpJALR:
+			if len(ops) != 2 && len(ops) != 3 {
+				return nil, errf(st.line, "jalr needs rd, rs1[, imm]")
+			}
+			var err error
+			if in.Rd, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = reg(ops[1], st.line); err != nil {
+				return nil, err
+			}
+			if len(ops) == 3 {
+				v, err := evalExpr(ops[2], symbols, st.line)
+				if err != nil {
+					return nil, err
+				}
+				in.Imm = int32(v)
+			}
+		default:
+			if len(ops) != 3 {
+				return nil, errf(st.line, "%s needs rd, rs1, imm", op)
+			}
+			var err error
+			if in.Rd, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+			if in.Rs1, err = reg(ops[1], st.line); err != nil {
+				return nil, err
+			}
+			v, err := evalExpr(ops[2], symbols, st.line)
+			if err != nil {
+				return nil, err
+			}
+			in.Imm = int32(v)
+		}
+		if err := checkImm18(in.Imm, st.line); err != nil && op != isa.OpRDCYC {
+			return nil, err
+		}
+	case isa.FormatB:
+		if isa.IsStore(op) {
+			if len(ops) != 2 {
+				return nil, errf(st.line, "%s needs rs2, off(rs1)", op)
+			}
+			var err error
+			if in.Rs2, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+			if in.Rs1, in.Imm, err = memOperand(ops[1], symbols, st.line); err != nil {
+				return nil, err
+			}
+			if err := checkImm18(in.Imm, st.line); err != nil {
+				return nil, err
+			}
+		} else { // branch
+			if len(ops) != 3 {
+				return nil, errf(st.line, "%s needs rs1, rs2, target", op)
+			}
+			var err error
+			if in.Rs1, err = reg(ops[0], st.line); err != nil {
+				return nil, err
+			}
+			if in.Rs2, err = reg(ops[1], st.line); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = branchOffset(ops[2], st, symbols); err != nil {
+				return nil, err
+			}
+		}
+	case isa.FormatJ:
+		if len(ops) != 2 {
+			return nil, errf(st.line, "jal needs rd, target")
+		}
+		var err error
+		if in.Rd, err = reg(ops[0], st.line); err != nil {
+			return nil, err
+		}
+		if in.Imm, err = branchOffset(ops[1], st, symbols); err != nil {
+			return nil, err
+		}
+	case isa.FormatU:
+		if len(ops) != 2 {
+			return nil, errf(st.line, "lui needs rd, value")
+		}
+		var err error
+		if in.Rd, err = reg(ops[0], st.line); err != nil {
+			return nil, err
+		}
+		v, err := evalExpr(ops[1], symbols, st.line)
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = int32(uint32(v) &^ 0x3FF)
+	case isa.FormatN:
+		if len(ops) != 0 {
+			return nil, errf(st.line, "%s takes no operands", op)
+		}
+	}
+	return []uint32{isa.Encode(in)}, nil
+}
+
+func encodeLI(st *statement, rd uint8, v uint32) ([]uint32, error) {
+	oneWord := st.size == 4
+	if oneWord {
+		return []uint32{isa.Encode(isa.Instr{Op: isa.OpADDI, Rd: rd, Imm: int32(v)})}, nil
+	}
+	lui := isa.Encode(isa.Instr{Op: isa.OpLUI, Rd: rd, Imm: int32(v &^ 0x3FF)})
+	ori := isa.Encode(isa.Instr{Op: isa.OpORI, Rd: rd, Rs1: rd, Imm: int32(v & 0x3FF)})
+	return []uint32{lui, ori}, nil
+}
+
+func twoRegs(st *statement) (rd, rs uint8, err error) {
+	if len(st.operands) != 2 {
+		return 0, 0, errf(st.line, "%s needs rd, rs", st.mnemonic)
+	}
+	if rd, err = reg(st.operands[0], st.line); err != nil {
+		return
+	}
+	rs, err = reg(st.operands[1], st.line)
+	return
+}
+
+func oneReg(st *statement) (uint8, error) {
+	if len(st.operands) != 1 {
+		return 0, errf(st.line, "%s needs one register", st.mnemonic)
+	}
+	return reg(st.operands[0], st.line)
+}
+
+func branchOffset(target string, st *statement, symbols map[string]uint32) (int32, error) {
+	v, err := evalExpr(target, symbols, st.line)
+	if err != nil {
+		return 0, err
+	}
+	delta := int64(int32(uint32(v))) - int64(st.addr) - 4
+	if delta%4 != 0 {
+		return 0, errf(st.line, "branch target 0x%x not word aligned", uint32(v))
+	}
+	off := delta / 4
+	if off < isa.Imm18Min || off > isa.Imm18Max {
+		return 0, errf(st.line, "branch offset %d out of range", off)
+	}
+	return int32(off), nil
+}
+
+func checkImm18(v int32, line int) error {
+	if v < isa.Imm18Min || v > isa.Imm18Max {
+		return errf(line, "immediate %d out of 18-bit range", v)
+	}
+	return nil
+}
+
+// memOperand parses "off(rN)" or "symbol(rN)" or a bare "off".
+func memOperand(s string, symbols map[string]uint32, line int) (rs1 uint8, imm int32, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		v, err := evalExpr(s, symbols, line)
+		if err != nil {
+			return 0, 0, err
+		}
+		return 0, int32(v), nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "bad memory operand %q", s)
+	}
+	offPart := strings.TrimSpace(s[:open])
+	regPart := strings.TrimSpace(s[open+1 : len(s)-1])
+	if offPart != "" {
+		v, err := evalExpr(offPart, symbols, line)
+		if err != nil {
+			return 0, 0, err
+		}
+		imm = int32(v)
+	}
+	rs1, err = reg(regPart, line)
+	return rs1, imm, err
+}
+
+var regAliases = map[string]uint8{"zero": 0, "sp": 14, "lr": 15}
+
+func reg(s string, line int) (uint8, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if n, ok := regAliases[ls]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(ls, "r") {
+		n, err := strconv.Atoi(ls[1:])
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, errf(line, "bad register %q", s)
+}
+
+// evalExpr evaluates "term ((+|-) term)*" where term is a literal or symbol.
+func evalExpr(s string, symbols map[string]uint32, line int) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errf(line, "empty expression")
+	}
+	total := int64(0)
+	sign := int64(1)
+	i := 0
+	// Leading unary minus.
+	if s[0] == '-' {
+		sign = -1
+		i = 1
+	}
+	start := i
+	flush := func(end int) error {
+		tok := strings.TrimSpace(s[start:end])
+		if tok == "" {
+			return errf(line, "bad expression %q", s)
+		}
+		v, err := termValue(tok, symbols, line)
+		if err != nil {
+			return err
+		}
+		total += sign * v
+		return nil
+	}
+	for ; i < len(s); i++ {
+		switch s[i] {
+		case '+':
+			if err := flush(i); err != nil {
+				return 0, err
+			}
+			sign = 1
+			start = i + 1
+		case '-':
+			if err := flush(i); err != nil {
+				return 0, err
+			}
+			sign = -1
+			start = i + 1
+		}
+	}
+	if err := flush(len(s)); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func termValue(tok string, symbols map[string]uint32, line int) (int64, error) {
+	if v, err := parseInt(tok); err == nil {
+		return v, nil
+	}
+	if v, ok := symbols[tok]; ok {
+		return int64(v), nil
+	}
+	return 0, errf(line, "undefined symbol %q", tok)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 32)
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		v, err = strconv.ParseUint(s[2:], 2, 32)
+	default:
+		v, err = strconv.ParseUint(s, 10, 32)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func opFromMnemonic(m string) isa.Op {
+	for op := isa.OpInvalid + 1; op.Valid(); op++ {
+		if op.String() == m {
+			return op
+		}
+	}
+	return isa.OpInvalid
+}

@@ -1,0 +1,377 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"lockstep/internal/isa"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAt(p *Program, addr uint32) isa.Instr {
+	return isa.Decode(p.Words[(addr-p.Origin)/4])
+}
+
+func TestBasicEncoding(t *testing.T) {
+	p := mustAsm(t, `
+        add  r1, r2, r3
+        addi r4, r5, -7
+        lw   r6, 12(r7)
+        sw   r6, -4(r7)
+        halt
+`)
+	want := []isa.Instr{
+		{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.OpADDI, Rd: 4, Rs1: 5, Imm: -7},
+		{Op: isa.OpLW, Rd: 6, Rs1: 7, Imm: 12},
+		{Op: isa.OpSW, Rs2: 6, Rs1: 7, Imm: -4},
+		{Op: isa.OpHALT},
+	}
+	if len(p.Words) != len(want) {
+		t.Fatalf("got %d words, want %d", len(p.Words), len(want))
+	}
+	for i, w := range want {
+		if got := isa.Decode(p.Words[i]); got != w {
+			t.Errorf("word %d: got %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+start:  addi r1, r0, 10
+loop:   dec  r1
+        bne  r1, r0, loop
+        j    start
+        halt
+`)
+	// bne at address 8 targets 4: offset = (4 - 12)/4 = -2.
+	bne := decodeAt(p, 8)
+	if bne.Op != isa.OpBNE || bne.Imm != -2 {
+		t.Errorf("bne: %+v", bne)
+	}
+	// j at address 12 targets 0: offset = (0 - 16)/4 = -4, rd = r0.
+	j := decodeAt(p, 12)
+	if j.Op != isa.OpJAL || j.Rd != 0 || j.Imm != -4 {
+		t.Errorf("j: %+v", j)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	p := mustAsm(t, `
+        beq r0, r0, done
+        nop
+        nop
+done:   halt
+`)
+	beq := decodeAt(p, 0)
+	if beq.Imm != 2 {
+		t.Errorf("forward branch offset = %d, want 2", beq.Imm)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAsm(t, `
+        .equ BASE, 0x1000
+        .equ COUNT, 8
+        li   r1, BASE
+        halt
+        .org BASE
+table:  .word 1, 2, 3, COUNT
+buf:    .space 8
+end:    .word 0xDEADBEEF
+`)
+	if p.Symbols["table"] != 0x1000 {
+		t.Errorf("table = %#x", p.Symbols["table"])
+	}
+	if p.Symbols["buf"] != 0x1010 {
+		t.Errorf("buf = %#x", p.Symbols["buf"])
+	}
+	if p.Symbols["end"] != 0x1018 {
+		t.Errorf("end = %#x", p.Symbols["end"])
+	}
+	word := func(addr uint32) uint32 { return p.Words[(addr-p.Origin)/4] }
+	if word(0x1000) != 1 || word(0x100C) != 8 {
+		t.Errorf("table contents wrong: %#x %#x", word(0x1000), word(0x100C))
+	}
+	if word(0x1010) != 0 || word(0x1014) != 0 {
+		t.Errorf(".space not zero filled")
+	}
+	if word(0x1018) != 0xDEADBEEF {
+		t.Errorf("end word = %#x", word(0x1018))
+	}
+}
+
+func TestLIExpansion(t *testing.T) {
+	// Small literal: single ADDI.
+	p := mustAsm(t, "        li r1, 100\n        halt\n")
+	if len(p.Words) != 2 {
+		t.Fatalf("small li should be 1 word, program has %d", len(p.Words))
+	}
+	if in := decodeAt(p, 0); in.Op != isa.OpADDI || in.Imm != 100 {
+		t.Errorf("small li: %+v", in)
+	}
+
+	// Negative small literal.
+	p = mustAsm(t, "        li r1, -100\n        halt\n")
+	if in := decodeAt(p, 0); in.Op != isa.OpADDI || in.Imm != -100 {
+		t.Errorf("negative li: %+v", in)
+	}
+
+	// Large literal: LUI + ORI.
+	p = mustAsm(t, "        li r1, 0x12345678\n        halt\n")
+	if len(p.Words) != 3 {
+		t.Fatalf("large li should be 2 words, program has %d", len(p.Words))
+	}
+	lui := decodeAt(p, 0)
+	ori := decodeAt(p, 4)
+	if lui.Op != isa.OpLUI || ori.Op != isa.OpORI {
+		t.Fatalf("large li expansion: %v, %v", lui.Op, ori.Op)
+	}
+	if uint32(lui.Imm)|uint32(ori.Imm) != 0x12345678 {
+		t.Errorf("li value: %#x | %#x", uint32(lui.Imm), uint32(ori.Imm))
+	}
+
+	// Symbolic operand always two words (layout stability).
+	p = mustAsm(t, `
+        li r1, tgt
+        halt
+tgt:    .word 0
+`)
+	if p.Symbols["tgt"] != 12 {
+		t.Errorf("symbolic li sized wrong: tgt = %d", p.Symbols["tgt"])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAsm(t, `
+        nop
+        mv   r1, r2
+        not  r3, r4
+        neg  r5, r6
+        inc  r7
+        dec  r8
+        call fn
+        halt
+fn:     ret
+`)
+	checks := []struct {
+		addr uint32
+		want isa.Instr
+	}{
+		{0, isa.Instr{Op: isa.OpADDI}},
+		{4, isa.Instr{Op: isa.OpADDI, Rd: 1, Rs1: 2}},
+		{8, isa.Instr{Op: isa.OpXORI, Rd: 3, Rs1: 4, Imm: -1}},
+		{12, isa.Instr{Op: isa.OpSUB, Rd: 5, Rs2: 6}},
+		{16, isa.Instr{Op: isa.OpADDI, Rd: 7, Rs1: 7, Imm: 1}},
+		{20, isa.Instr{Op: isa.OpADDI, Rd: 8, Rs1: 8, Imm: -1}},
+		{24, isa.Instr{Op: isa.OpJAL, Rd: 15, Imm: 1}},
+		{32, isa.Instr{Op: isa.OpJALR, Rd: 0, Rs1: 15}},
+	}
+	for _, c := range checks {
+		if got := decodeAt(p, c.addr); got != c.want {
+			t.Errorf("at %d: got %+v, want %+v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, "        add sp, lr, zero\n")
+	in := decodeAt(p, 0)
+	if in.Rd != 14 || in.Rs1 != 15 || in.Rs2 != 0 {
+		t.Errorf("aliases: %+v", in)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	p := mustAsm(t, `
+        .equ A, 0x100
+        .equ B, A + 0x20
+        li  r1, B - 8
+        lw  r2, A+4(r3)
+        halt
+`)
+	if p.Symbols["B"] != 0x120 {
+		t.Errorf("B = %#x", p.Symbols["B"])
+	}
+	// Symbolic li expands to LUI+ORI; the combined value is B-8.
+	lui := decodeAt(p, 0)
+	ori := decodeAt(p, 4)
+	if lui.Op != isa.OpLUI || ori.Op != isa.OpORI {
+		t.Fatalf("symbolic li: %v, %v", lui.Op, ori.Op)
+	}
+	if uint32(lui.Imm)|uint32(ori.Imm) != 0x118 {
+		t.Errorf("li expr value: %#x", uint32(lui.Imm)|uint32(ori.Imm))
+	}
+	if in := decodeAt(p, 8); in.Imm != 0x104 || in.Rs1 != 3 {
+		t.Errorf("lw expr: %+v", in)
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	p := mustAsm(t, `
+        nop        ; semicolon
+        nop        # hash
+        nop        // slashes
+`)
+	if len(p.Words) != 3 {
+		t.Fatalf("comments broke parsing: %d words", len(p.Words))
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"        bogus r1, r2\n", "unknown mnemonic"},
+		{"        add r1, r2\n", "needs rd, rs1, rs2"},
+		{"        add r1, r2, r99\n", "bad register"},
+		{"        addi r1, r2, 999999\n", "out of 18-bit range"},
+		{"        lw r1, 0(r2\n", "bad memory operand"},
+		{"x:      nop\nx:      nop\n", "duplicate symbol"},
+		{"        j nowhere\n", "undefined symbol"},
+		{"        .org 0x100\n        .org 0x10\n", "backwards"},
+		{"        .space -4\n", "non-negative"},
+		{"        .equ 9bad, 1\n", "bad name"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("error for %q = %q, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("        nop\n        nop\n        bogus\n")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line = %d, want 3", aerr.Line)
+	}
+}
+
+func TestTwoLabelsSameAddress(t *testing.T) {
+	p := mustAsm(t, `
+a:
+b:      nop
+`)
+	if p.Symbols["a"] != p.Symbols["b"] {
+		t.Errorf("a=%d b=%d", p.Symbols["a"], p.Symbols["b"])
+	}
+}
+
+func TestEntryIsFirstInstruction(t *testing.T) {
+	p := mustAsm(t, `
+        .org 0x40
+start:  nop
+        halt
+`)
+	if p.Entry != 0x40 {
+		t.Errorf("entry = %#x, want 0x40", p.Entry)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("        bogus\n")
+}
+
+func TestByteDirectives(t *testing.T) {
+	p := mustAsm(t, `
+        nop
+data:   .byte 0x11, 0x22, 0x33
+        .align 2
+h:      .half 0xBEEF, -2
+        .align 4
+w:      .word 0x44556677
+`)
+	if p.Symbols["data"] != 4 || p.Symbols["h"] != 8 || p.Symbols["w"] != 12 {
+		t.Fatalf("layout: data=%d h=%d w=%d",
+			p.Symbols["data"], p.Symbols["h"], p.Symbols["w"])
+	}
+	word := func(addr uint32) uint32 { return p.Words[(addr-p.Origin)/4] }
+	// Bytes pack little-endian: 0x11 0x22 0x33 then align padding.
+	if got := word(4); got != 0x00332211 {
+		t.Fatalf("byte word = %#x", got)
+	}
+	// Halves: 0xBEEF then 0xFFFE.
+	if got := word(8); got != 0xFFFEBEEF {
+		t.Fatalf("half word = %#x", got)
+	}
+	if got := word(12); got != 0x44556677 {
+		t.Fatalf("word = %#x", got)
+	}
+}
+
+func TestAsciiDirectives(t *testing.T) {
+	p := mustAsm(t, `
+msg:    .asciz "Hi,\n\"Go\"\0"
+        .align 4
+        nop
+`)
+	want := []byte("Hi,\n\"Go\"\x00\x00") // trailing NUL from asciz
+	for i, b := range want {
+		addr := uint32(i)
+		got := byte(p.Words[addr/4] >> (8 * (addr % 4)))
+		if got != b {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, b)
+		}
+	}
+	// The string contains a comma; operand splitting must respect quotes.
+	if p.Symbols["msg"] != 0 {
+		t.Fatalf("msg = %d", p.Symbols["msg"])
+	}
+}
+
+func TestUnalignedCodeRejected(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"        .byte 1\n        nop\n", "unaligned"},
+		{"        .byte 1\n        .word 2\n", "unaligned"},
+		{"        .byte 1\n        .half 2\n", "unaligned"},
+		{"        .align 3\n", "power of two"},
+		{"        .byte 300\n", "out of range"},
+		{"        .ascii nope\n", "quoted string"},
+		{"        .ascii \"\\q\"\n", "unknown escape"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("src %q: err %v, want fragment %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestAlignIsIdempotent(t *testing.T) {
+	p := mustAsm(t, `
+        .align 4
+        nop
+        .align 4
+a:      nop
+`)
+	if p.Symbols["a"] != 4 {
+		t.Fatalf("aligned-on-aligned moved pc: a=%d", p.Symbols["a"])
+	}
+}

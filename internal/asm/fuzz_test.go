@@ -1,0 +1,88 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"lockstep/internal/isa"
+)
+
+// FuzzAssemble: the assembler must never panic on arbitrary source text —
+// it either produces a program or a line-annotated error.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"        nop\n",
+		"        add r1, r2, r3\n",
+		"x:      .word 1, 2, 3\n        j x\n",
+		"        li r1, 0x12345678\n        halt\n",
+		"        .equ A, 5\n        addi r1, r0, A+1\n",
+		"        lw r1, 4(r2)\n        sw r1, -4(sp)\n",
+		"bad:    bogus operands, here\n",
+		"        .org 0x100\nl:      beq r0, r0, l\n",
+		"a: b: c: nop\n",
+		":::\n",
+		"        addi r1, r0, 999999999999\n",
+		"\x00\xff\xfe",
+		"        lw r1, (((\n",
+		"        .space -4\n",
+		"        li r1, -\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			// Errors must be annotated Error values with a line number.
+			var aerr *Error
+			if !asError(err, &aerr) {
+				t.Fatalf("non-annotated error type %T: %v", err, err)
+			}
+			if aerr.Line < 1 {
+				t.Fatalf("error with bad line %d", aerr.Line)
+			}
+			return
+		}
+		// A successful program must decode cleanly or contain data words;
+		// its symbols must be within the image or equ constants.
+		if prog == nil {
+			t.Fatal("nil program without error")
+		}
+		if len(prog.Words) > 0 && prog.Entry < prog.Origin &&
+			strings.TrimSpace(src) != "" && prog.Entry != 0 {
+			t.Fatalf("entry %#x below origin %#x", prog.Entry, prog.Origin)
+		}
+	})
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// FuzzDisassembleDecode: any 32-bit word decodes without panicking, and
+// valid-opcode words re-encode to a word that decodes identically
+// (canonicalisation fixpoint).
+func FuzzDisassembleDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Add(uint32(0x04400001))
+	for _, s := range []uint32{1 << 26, 5 << 26, 37 << 26, 0x12345678} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := isa.Decode(w)
+		_ = isa.Disassemble(in)
+		if in.Op == isa.OpInvalid {
+			return
+		}
+		again := isa.Decode(isa.Encode(in))
+		if again != in {
+			t.Fatalf("decode(encode(decode(%#x))) = %+v, want %+v", w, again, in)
+		}
+	})
+}

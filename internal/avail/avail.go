@@ -1,0 +1,91 @@
+// Package avail converts error reaction times into the currency the
+// paper's headline speaks — system availability. During every lockstep
+// error reaction the system is not delivering its function; the expected
+// annual downtime is the error arrival rate times the mean reaction time,
+// and any LERT reduction converts directly into availability (Section I:
+// "any reduction in the provisioned error reaction time at run time is
+// safe, and increases the availability of the system").
+package avail
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes the deployment's fault environment and clock.
+type Profile struct {
+	// ErrorsPerHour is the rate of detected lockstep errors. Automotive
+	// SEU rates are commonly quoted in FIT (failures per 1e9 device
+	// hours); use FromFIT for that.
+	ErrorsPerHour float64
+	// ClockHz converts reaction cycles to wall-clock time.
+	ClockHz float64
+}
+
+// FromFIT builds a profile from a FIT rate (errors per 1e9 device-hours).
+func FromFIT(fit, clockHz float64) Profile {
+	return Profile{ErrorsPerHour: fit / 1e9, ClockHz: clockHz}
+}
+
+// ReactionSeconds converts a reaction time in cycles to seconds.
+func (p Profile) ReactionSeconds(lertCycles float64) float64 {
+	if p.ClockHz <= 0 {
+		return 0
+	}
+	return lertCycles / p.ClockHz
+}
+
+const secondsPerYear = 365 * 24 * 3600
+
+// annualDowntimeSeconds computes the expected reaction seconds per year,
+// in float to stay safe from time.Duration overflow on absurd inputs.
+func (p Profile) annualDowntimeSeconds(meanLERTCycles float64) float64 {
+	const hoursPerYear = 24 * 365
+	return p.ErrorsPerHour * hoursPerYear * p.ReactionSeconds(meanLERTCycles)
+}
+
+// AnnualDowntime is the expected time per year spent inside error
+// reactions (not delivering the function) for a given mean LERT. The
+// result saturates at one year.
+func (p Profile) AnnualDowntime(meanLERTCycles float64) time.Duration {
+	seconds := p.annualDowntimeSeconds(meanLERTCycles)
+	if seconds >= secondsPerYear {
+		seconds = secondsPerYear
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Availability is the fraction of the year the system is not inside an
+// error reaction.
+func (p Profile) Availability(meanLERTCycles float64) float64 {
+	down := p.annualDowntimeSeconds(meanLERTCycles)
+	if down >= secondsPerYear {
+		return 0
+	}
+	return 1 - down/secondsPerYear
+}
+
+// Improvement compares two models' mean LERTs: the relative downtime
+// reduction (the paper's 42-65% availability-increase metric) and the
+// absolute annual downtime saved.
+type Improvement struct {
+	DowntimeReduction float64 // 1 - after/before
+	AnnualSaved       time.Duration
+}
+
+// Compare computes the improvement of moving from baseline to improved
+// mean LERT.
+func (p Profile) Compare(baselineLERT, improvedLERT float64) Improvement {
+	var imp Improvement
+	if baselineLERT > 0 {
+		imp.DowntimeReduction = 1 - improvedLERT/baselineLERT
+	}
+	imp.AnnualSaved = p.AnnualDowntime(baselineLERT) - p.AnnualDowntime(improvedLERT)
+	return imp
+}
+
+// String renders the improvement for reports.
+func (i Improvement) String() string {
+	return fmt.Sprintf("downtime -%0.1f%% (%v/year saved)",
+		100*i.DowntimeReduction, i.AnnualSaved.Round(time.Microsecond))
+}

@@ -1,0 +1,79 @@
+package avail
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFromFIT(t *testing.T) {
+	p := FromFIT(1000, 400e6) // 1000 FIT at 400 MHz
+	if p.ErrorsPerHour != 1e-6 {
+		t.Fatalf("errors/hour = %v", p.ErrorsPerHour)
+	}
+}
+
+func TestReactionSeconds(t *testing.T) {
+	p := Profile{ClockHz: 400e6}
+	if got := p.ReactionSeconds(400e6); got != 1 {
+		t.Fatalf("1s of cycles = %v s", got)
+	}
+	if (Profile{}).ReactionSeconds(1000) != 0 {
+		t.Fatal("zero clock should not divide")
+	}
+}
+
+func TestAnnualDowntimeScalesLinearly(t *testing.T) {
+	p := Profile{ErrorsPerHour: 0.001, ClockHz: 100e6}
+	d1 := p.AnnualDowntime(1_000_000)
+	d2 := p.AnnualDowntime(2_000_000)
+	if d2 != 2*d1 {
+		t.Fatalf("downtime not linear: %v vs %v", d1, d2)
+	}
+	// 0.001 errors/hour * 8760 h * (1e6 / 1e8 s) = 8.76 * 0.01 s = 87.6ms.
+	want := 87.6 * float64(time.Millisecond)
+	if math.Abs(float64(d1)-want) > float64(time.Millisecond) {
+		t.Fatalf("downtime %v, want ~87.6ms", d1)
+	}
+}
+
+func TestAvailabilityBounds(t *testing.T) {
+	p := Profile{ErrorsPerHour: 1e-6, ClockHz: 400e6}
+	a := p.Availability(500_000)
+	if a <= 0.999999 || a > 1 {
+		t.Fatalf("availability %v implausible for rare errors", a)
+	}
+	// A pathological profile cannot go negative.
+	bad := Profile{ErrorsPerHour: 1e12, ClockHz: 1}
+	if got := bad.Availability(1e12); got != 0 {
+		t.Fatalf("availability floor broken: %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	p := Profile{ErrorsPerHour: 0.01, ClockHz: 100e6}
+	imp := p.Compare(1_000_000, 350_000)
+	if math.Abs(imp.DowntimeReduction-0.65) > 1e-9 {
+		t.Fatalf("reduction %v, want 0.65", imp.DowntimeReduction)
+	}
+	if imp.AnnualSaved <= 0 {
+		t.Fatal("no downtime saved")
+	}
+	if (Profile{}).Compare(0, 10).DowntimeReduction != 0 {
+		t.Fatal("zero baseline should not divide")
+	}
+	if imp.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+// TestPaperHeadline: with the paper's numbers (pred-comb 65% faster than
+// base-manifest), the availability improvement equals the LERT reduction.
+func TestPaperHeadline(t *testing.T) {
+	p := FromFIT(500, 400e6)
+	base, comb := 670_000.0, 234_500.0 // paper's base-manifest and 0.35x
+	imp := p.Compare(base, comb)
+	if imp.DowntimeReduction < 0.64 || imp.DowntimeReduction > 0.66 {
+		t.Fatalf("headline reduction %v, want ~0.65", imp.DowntimeReduction)
+	}
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lockstep/internal/core"
+	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+// ExampleTrain shows the full predictor flow on a toy error log: train a
+// table, then look a diverged-SC map up the way the error handler does.
+func ExampleTrain() {
+	log := &dataset.Dataset{}
+	// Six hard errors from the LSU always produced DSR 0b0110; four soft
+	// errors from the PFU produced DSR 0b1000.
+	for i := 0; i < 6; i++ {
+		log.Records = append(log.Records, dataset.Record{
+			Kernel: "demo", Detected: true, DSR: 0b0110,
+			Unit: units.LSU, Fine: units.FineLSU, Kind: lockstep.Stuck1,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		log.Records = append(log.Records, dataset.Record{
+			Kernel: "demo", Detected: true, DSR: 0b1000,
+			Unit: units.PFU, Fine: units.FinePFU, Kind: lockstep.SoftFlip,
+		})
+	}
+
+	table := core.Train(log, core.Coarse7, 0)
+
+	p := table.Predict(0b0110)
+	fmt.Printf("DSR 0110: type=%v first=%v known=%v\n",
+		p.Hard, core.Coarse7.UnitName(int(p.Units[0])), p.Known)
+	p = table.Predict(0b1000)
+	fmt.Printf("DSR 1000: type=%v first=%v\n",
+		p.Hard, core.Coarse7.UnitName(int(p.Units[0])))
+	p = table.Predict(0b1111) // never seen: default entry, assume hard
+	fmt.Printf("unknown : type=%v known=%v\n", p.Hard, p.Known)
+	// Output:
+	// DSR 0110: type=true first=LSU known=true
+	// DSR 1000: type=false first=PFU
+	// unknown : type=true known=false
+}
+
+// ExampleFrontend shows the hardware front-end of Figure 6: the DSR is
+// latched at error detection and the address mapper resolves the PTAR.
+func ExampleFrontend() {
+	log := &dataset.Dataset{}
+	log.Records = append(log.Records, dataset.Record{
+		Kernel: "demo", Detected: true, DSR: 42,
+		Unit: units.DPU, Fine: units.FineDPUALU, Kind: lockstep.Stuck0,
+	})
+	fe := core.Frontend{Table: core.Train(log, core.Coarse7, 0)}
+
+	fe.LatchError(42)
+	fmt.Printf("PTAR=%d hit=%v\n", fe.PTAR, fe.Hit)
+	fe.LatchError(99) // unobserved set -> default entry
+	fmt.Printf("PTAR=%d hit=%v\n", fe.PTAR, fe.Hit)
+	// Output:
+	// PTAR=0 hit=true
+	// PTAR=1 hit=false
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+
+	"lockstep/internal/cpu"
+)
+
+// Frontend models the error-correlation prediction hardware of the paper's
+// Figure 6 (the red box): the T-bit Divergence Status Register fed by the
+// checker's per-SC OR-reduction trees, the address-mapping logic, and the
+// Prediction Table Address Register. The prediction table itself lives in
+// (ECC-protected) on- or off-chip memory; the lockstep error handler
+// software reads the PTAR and fetches the entry.
+type Frontend struct {
+	Table *Table
+
+	DSR  uint64 // latched diverged-SC map (reset to zero)
+	PTAR int    // latched prediction table address
+	Hit  bool   // PTAR points at a trained entry (vs the default entry)
+}
+
+// DSRBits is the Divergence Status Register width: one bit per SC.
+const DSRBits = cpu.NumSC
+
+// LatchError captures the checker's diverged-SC map at error detection:
+// the DSR latches the map and the address-mapping logic resolves it into
+// the PTAR. Unobserved sets map to the default entry (table index
+// Dict.Len()).
+func (f *Frontend) LatchError(dsr uint64) {
+	f.DSR = dsr
+	if id, ok := f.Table.Dict.ID(dsr); ok {
+		f.PTAR = id
+		f.Hit = true
+	} else {
+		f.PTAR = f.Table.Dict.Len()
+		f.Hit = false
+	}
+}
+
+// ReadEntry is what the error-handler software does with the PTAR: fetch
+// the prediction entry from the table memory.
+func (f *Frontend) ReadEntry() Prediction {
+	return f.Table.Predict(f.DSR)
+}
+
+// Reset clears the DSR and PTAR for the next error.
+func (f *Frontend) Reset() {
+	f.DSR = 0
+	f.PTAR = 0
+	f.Hit = false
+}
+
+// Dynamic is the dynamically updated predictor the paper's Discussion
+// (Section VII) contemplates and argues against: the table starts empty
+// and entries are updated with error history, like a branch predictor.
+// Because errors are rare, accumulating history takes far longer than for
+// branches — the ablation benchmark quantifies exactly that.
+type Dynamic struct {
+	Gran Granularity
+	dict *SetDict
+	unit [][]float64 // per set: histogram over units
+	hard []int
+	soft []int
+	// defaults when a set has no history yet
+	globalUnit []float64
+}
+
+// NewDynamic returns an empty dynamic predictor.
+func NewDynamic(gran Granularity) *Dynamic {
+	return &Dynamic{
+		Gran:       gran,
+		dict:       NewSetDict(),
+		globalUnit: make([]float64, gran.Units()),
+	}
+}
+
+// Predict returns the current prediction for a DSR. With no history for
+// the set, the global histogram order is used and the type defaults to
+// hard (the safe assumption).
+func (d *Dynamic) Predict(dsr uint64) Prediction {
+	if id, ok := d.dict.ID(dsr); ok && d.hard[id]+d.soft[id] > 0 {
+		scores := make([]float64, len(d.unit[id]))
+		copy(scores, d.unit[id])
+		return Prediction{
+			Units: orderFromScores(scores),
+			Hard:  d.hard[id] >= d.soft[id],
+			Known: true,
+		}
+	}
+	return Prediction{
+		Units: orderFromScores(append([]float64{}, d.globalUnit...)),
+		Hard:  true,
+		Known: false,
+	}
+}
+
+// Observe updates the history after diagnosis has established the ground
+// truth for a detected error.
+func (d *Dynamic) Observe(dsr uint64, unit int, hard bool) {
+	id := d.dict.Add(dsr)
+	for id >= len(d.unit) {
+		d.unit = append(d.unit, make([]float64, d.Gran.Units()))
+		d.hard = append(d.hard, 0)
+		d.soft = append(d.soft, 0)
+	}
+	d.unit[id][unit]++
+	d.globalUnit[unit]++
+	if hard {
+		d.hard[id]++
+	} else {
+		d.soft[id]++
+	}
+}
+
+// PredictOrder mirrors Table.PredictOrder for the dynamic predictor.
+func (d *Dynamic) PredictOrder(dsr uint64, rng *rand.Rand) ([]uint8, bool) {
+	p := d.Predict(dsr)
+	return p.Units, p.Hard
+}

@@ -1,0 +1,150 @@
+// Package costmodel estimates silicon area and worst-case total power for
+// the error-correlation predictor hardware and the CPUs it attaches to —
+// the substitute for the paper's Synopsys Design Compiler / IC Compiler /
+// PrimeTime PX flow in 32nm libraries (Section V-E).
+//
+// The model is a gate-count model: blocks are described as (flop count,
+// NAND2-equivalent combinational gate count) and costed with per-cell area
+// and power constants representative of a 32nm commercial standard-cell
+// library. Table IV reports *ratios* (predictor vs dual-CPU lockstep and
+// vs a single CPU), which a consistent gate-count model preserves.
+package costmodel
+
+import (
+	"lockstep/internal/cpu"
+)
+
+// 32nm-class standard cell constants. Absolute values are representative;
+// only their ratios matter for the Table IV reproduction.
+const (
+	NAND2AreaUM2 = 0.85 // NAND2-equivalent combinational cell area
+	FlopAreaUM2  = 4.5  // D flip-flop area
+	NAND2PowerUW = 0.03 // worst-case total power per gate at nominal clock
+	FlopPowerUW  = 0.17 // worst-case total power per flop
+)
+
+// CombGatesPerFlop models the combinational cloud attached to each state
+// bit of a synthesized in-order CPU (datapath muxing, next-state logic).
+const CombGatesPerFlop = 6
+
+// CPUFixedGates covers the large shared combinational blocks of the SR5:
+// ALU, shifter, 32x32 multiplier array, divider datapath and decode PLA.
+const CPUFixedGates = 12000
+
+// Block is a hardware block in gate-count terms.
+type Block struct {
+	Name  string
+	Flops int
+	Gates int // NAND2-equivalent combinational gates
+}
+
+// AreaUM2 returns the block's cell area.
+func (b Block) AreaUM2() float64 {
+	return float64(b.Flops)*FlopAreaUM2 + float64(b.Gates)*NAND2AreaUM2
+}
+
+// PowerUW returns the block's worst-case total power.
+func (b Block) PowerUW() float64 {
+	return float64(b.Flops)*FlopPowerUW + float64(b.Gates)*NAND2PowerUW
+}
+
+// Add composes blocks.
+func (b Block) Add(o Block) Block {
+	return Block{Name: b.Name + "+" + o.Name, Flops: b.Flops + o.Flops, Gates: b.Gates + o.Gates}
+}
+
+// SR5CPU is one SR5 CPU as modelled in this repository: the flop count
+// comes straight from the fault-injection registry.
+func SR5CPU() Block {
+	flops := cpu.NumFlops()
+	return Block{Name: "SR5 CPU", Flops: flops, Gates: flops*CombGatesPerFlop + CPUFixedGates}
+}
+
+// R5ClassCPU is a Cortex-R5-class reference point for calibration against
+// the paper's absolute ratios: a mid-size real-time CPU is roughly an
+// order of magnitude larger than SR5 (tens of thousands of flops).
+func R5ClassCPU() Block {
+	const flops = 28000
+	return Block{Name: "R5-class CPU", Flops: flops, Gates: flops*CombGatesPerFlop + 90000}
+}
+
+// Checker is the lockstep error checker for n CPUs: per compared output
+// bit, an XOR per redundant CPU plus the OR-reduction trees producing the
+// per-SC and final error signals (Figure 6, black box).
+func Checker(portBits, nCPUs int) Block {
+	xors := portBits * (nCPUs - 1)
+	orTree := portBits * (nCPUs - 1) // ~1 OR-equivalent per reduced bit
+	return Block{Name: "checker", Gates: xors + orTree}
+}
+
+// Predictor is the error-correlation prediction logic of Figure 6 (red
+// box): the DSR (one flop per SC), the PTAR, and the address-mapping logic
+// resolving a DSR value to a table index. The SC OR-reduction trees are
+// already part of the checker and contribute no extra predictor cost; the
+// prediction table itself lives in existing (ECC-protected) memory and is
+// likewise not predictor silicon.
+//
+// The mapping logic is modelled as a hash-based mapper (XOR-fold of the
+// DSR into the PTAR plus a small per-set disambiguation term): ~2 gates
+// per mapped set entry plus a fixed hash network. A fully parallel CAM
+// would be ~4x larger; the paper's <2%-of-DMR total implies a hashed
+// implementation.
+func Predictor(numSC, ptarBits, numSets int) Block {
+	mapGates := 2*numSets + 400
+	return Block{Name: "predictor", Flops: numSC + ptarBits, Gates: mapGates}
+}
+
+// Overhead is a relative area/power cost.
+type Overhead struct {
+	Area  float64
+	Power float64
+}
+
+// Relative computes block b's overhead relative to base.
+func Relative(b, base Block) Overhead {
+	return Overhead{
+		Area:  b.AreaUM2() / base.AreaUM2(),
+		Power: b.PowerUW() / base.PowerUW(),
+	}
+}
+
+// TableIV computes the paper's Table IV for this repository: the predictor
+// overhead relative to the dual-CPU lockstep processor (two CPUs plus
+// checker) and relative to a single CPU, for both the SR5 as built and an
+// R5-class reference CPU.
+type TableIV struct {
+	Predictor Block
+	SR5       Block
+	SR5DMR    Block
+	R5        Block
+	R5DMR     Block
+
+	VsSR5DMR Overhead
+	VsSR5    Overhead
+	VsR5DMR  Overhead
+	VsR5     Overhead
+}
+
+// ComputeTableIV builds the full comparison. ptarBits and numSets come
+// from the trained prediction table.
+func ComputeTableIV(ptarBits, numSets int) TableIV {
+	pred := Predictor(cpu.NumSC, ptarBits, numSets)
+	sr5 := SR5CPU()
+	r5 := R5ClassCPU()
+	chkSR5 := Checker(cpu.OutputPortBits(), 2)
+	// An R5-class lockstep checker compares ~2500 signals (Section IV-A).
+	chkR5 := Checker(2500, 2)
+	sr5dmr := sr5.Add(sr5).Add(chkSR5)
+	r5dmr := r5.Add(r5).Add(chkR5)
+	return TableIV{
+		Predictor: pred,
+		SR5:       sr5,
+		SR5DMR:    sr5dmr,
+		R5:        r5,
+		R5DMR:     r5dmr,
+		VsSR5DMR:  Relative(pred, sr5dmr),
+		VsSR5:     Relative(pred, sr5),
+		VsR5DMR:   Relative(pred, r5dmr),
+		VsR5:      Relative(pred, r5),
+	}
+}

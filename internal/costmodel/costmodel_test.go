@@ -1,0 +1,92 @@
+package costmodel
+
+import (
+	"testing"
+
+	"lockstep/internal/cpu"
+)
+
+func TestBlockCosting(t *testing.T) {
+	b := Block{Name: "x", Flops: 10, Gates: 100}
+	wantArea := 10*FlopAreaUM2 + 100*NAND2AreaUM2
+	if b.AreaUM2() != wantArea {
+		t.Fatalf("area %v, want %v", b.AreaUM2(), wantArea)
+	}
+	wantPower := 10*FlopPowerUW + 100*NAND2PowerUW
+	if b.PowerUW() != wantPower {
+		t.Fatalf("power %v, want %v", b.PowerUW(), wantPower)
+	}
+	sum := b.Add(Block{Flops: 5, Gates: 50})
+	if sum.Flops != 15 || sum.Gates != 150 {
+		t.Fatalf("add: %+v", sum)
+	}
+}
+
+func TestSR5CPUUsesRegistryFlops(t *testing.T) {
+	b := SR5CPU()
+	if b.Flops != cpu.NumFlops() {
+		t.Fatalf("SR5 flops %d, registry says %d", b.Flops, cpu.NumFlops())
+	}
+	if b.Gates <= b.Flops {
+		t.Fatal("combinational estimate implausibly small")
+	}
+}
+
+func TestCheckerScalesWithPortAndCPUs(t *testing.T) {
+	c2 := Checker(100, 2)
+	c3 := Checker(100, 3)
+	if c3.Gates != 2*c2.Gates {
+		t.Fatalf("TMR checker gates %d, want double DMR's %d", c3.Gates, c2.Gates)
+	}
+	if Checker(200, 2).Gates != 2*c2.Gates {
+		t.Fatal("checker should scale linearly with port width")
+	}
+	if c2.Flops != 0 {
+		t.Fatal("checker modelled with flops")
+	}
+}
+
+func TestPredictorComposition(t *testing.T) {
+	p := Predictor(62, 11, 1200)
+	if p.Flops != 62+11 {
+		t.Fatalf("predictor flops %d, want DSR+PTAR = 73", p.Flops)
+	}
+	if p.Gates <= 0 {
+		t.Fatal("no mapping logic")
+	}
+	// More sets -> more mapping logic, monotonic.
+	if Predictor(62, 12, 2400).Gates <= p.Gates {
+		t.Fatal("mapping logic should grow with set count")
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	tiv := ComputeTableIV(11, 1200)
+	// Predictor is a small fraction of the lockstep processor at every
+	// scale, and the R5-scale ratios are within the paper's <2% claim.
+	if tiv.VsSR5DMR.Area <= 0 || tiv.VsSR5DMR.Area > 0.15 {
+		t.Fatalf("vs SR5 DMR area ratio %v", tiv.VsSR5DMR.Area)
+	}
+	if tiv.VsR5DMR.Area > 0.02 || tiv.VsR5DMR.Power > 0.02 {
+		t.Fatalf("vs R5 DMR exceeds 2%%: %+v", tiv.VsR5DMR)
+	}
+	// Single-CPU ratios are about twice the DMR ratios.
+	ratio := tiv.VsSR5.Area / tiv.VsSR5DMR.Area
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Fatalf("single/dual ratio %v, want ~2", ratio)
+	}
+	// DMR is more than twice one CPU (checker added).
+	if tiv.SR5DMR.AreaUM2() <= 2*tiv.SR5.AreaUM2() {
+		t.Fatal("DMR should cost more than two bare CPUs")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	a := Block{Flops: 1, Gates: 0}
+	b := Block{Flops: 10, Gates: 0}
+	ov := Relative(a, b)
+	const eps = 1e-12
+	if ov.Area < 0.1-eps || ov.Area > 0.1+eps || ov.Power < 0.1-eps || ov.Power > 0.1+eps {
+		t.Fatalf("relative: %+v", ov)
+	}
+}

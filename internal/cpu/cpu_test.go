@@ -1,0 +1,477 @@
+package cpu_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/isa"
+	"lockstep/internal/iss"
+	"lockstep/internal/mem"
+)
+
+// runBoth assembles src, runs it to HALT on both the ISS and the pipelined
+// CPU (each against its own memory), and returns both machines and systems.
+func runBoth(t *testing.T, src string, maxInstrs, maxCycles int) (*iss.Machine, *cpu.CPU, *mem.System, *mem.System) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	sysI := mem.NewSystem()
+	sysC := mem.NewSystem()
+	if err := sysI.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysC.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := iss.New(sysI, prog.Entry)
+	if _, err := m.Run(maxInstrs); err != nil {
+		t.Fatalf("iss trap: %v", err)
+	}
+	if !m.Halted {
+		t.Fatalf("iss did not halt within %d instructions", maxInstrs)
+	}
+	c := cpu.New(sysC, prog.Entry)
+	c.Run(maxCycles)
+	if !c.State.Halted {
+		t.Fatalf("cpu did not halt within %d cycles", maxCycles)
+	}
+	if c.State.Trapped() {
+		t.Fatalf("cpu trapped: cause=%d epc=0x%x", c.State.ExcCause, c.State.EPC)
+	}
+	return m, c, sysI, sysC
+}
+
+// checkArchMatch compares architectural registers and a memory window.
+func checkArchMatch(t *testing.T, m *iss.Machine, c *cpu.CPU, sysI, sysC *mem.System, dataBase uint32, dataWords int) {
+	t.Helper()
+	for r := 1; r < isa.NumRegs; r++ {
+		if m.Regs[r] != c.State.Regs[r] {
+			t.Errorf("R%d: iss=0x%x cpu=0x%x", r, m.Regs[r], c.State.Regs[r])
+		}
+	}
+	if dataWords > 0 {
+		wi := sysI.Snapshot(dataBase, dataWords)
+		wc := sysC.Snapshot(dataBase, dataWords)
+		for i := range wi {
+			if wi[i] != wc[i] {
+				t.Errorf("mem[0x%x]: iss=0x%x cpu=0x%x", dataBase+uint32(i*4), wi[i], wc[i])
+			}
+		}
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	src := `
+        li   r1, 0        ; fib(0)
+        li   r2, 1        ; fib(1)
+        li   r3, 20       ; iterations
+loop:   add  r4, r1, r2
+        mv   r1, r2
+        mv   r2, r4
+        dec  r3
+        bne  r3, r0, loop
+        halt
+`
+	m, c, si, sc := runBoth(t, src, 1000, 10000)
+	checkArchMatch(t, m, c, si, sc, 0, 0)
+	if m.Regs[2] != 10946 {
+		t.Fatalf("fib(21) = %d, want 10946", m.Regs[2])
+	}
+}
+
+func TestMemoryKernel(t *testing.T) {
+	src := `
+        .equ SRC, 0x8000
+        .equ DST, 0x9000
+        li   r1, SRC
+        li   r2, DST
+        li   r3, 16        ; word count
+        li   r5, 1
+fill:   sw   r5, 0(r1)     ; src[i] = i*i
+        mul  r6, r5, r5
+        sw   r6, 0(r1)
+        addi r1, r1, 4
+        inc  r5
+        dec  r3
+        bne  r3, r0, fill
+        li   r1, SRC
+        li   r3, 16
+copy:   lw   r6, 0(r1)
+        sw   r6, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        dec  r3
+        bne  r3, r0, copy
+        halt
+`
+	m, c, si, sc := runBoth(t, src, 5000, 50000)
+	checkArchMatch(t, m, c, si, sc, 0x9000, 16)
+	want := sc.Snapshot(0x9000, 16)
+	for i, w := range want {
+		if w != uint32((i+1)*(i+1)) {
+			t.Fatalf("dst[%d] = %d, want %d", i, w, (i+1)*(i+1))
+		}
+	}
+}
+
+func TestDivideChain(t *testing.T) {
+	src := `
+        li   r1, 1000000
+        li   r2, 7
+        div  r3, r1, r2    ; 142857
+        rem  r4, r1, r2    ; 1
+        li   r5, -1000000
+        div  r6, r5, r2    ; -142857
+        rem  r7, r5, r2    ; -1
+        div  r8, r1, r0    ; div by zero -> all ones
+        rem  r9, r1, r0    ; rem by zero -> dividend
+        li   r10, 3
+        mulh r11, r1, r1   ; high half of 10^12
+        halt
+`
+	m, c, si, sc := runBoth(t, src, 1000, 10000)
+	checkArchMatch(t, m, c, si, sc, 0, 0)
+	if m.Regs[3] != 142857 || m.Regs[4] != 1 {
+		t.Fatalf("div/rem: got %d, %d", m.Regs[3], m.Regs[4])
+	}
+	if int32(m.Regs[6]) != -142857 || int32(m.Regs[7]) != -1 {
+		t.Fatalf("signed div/rem: got %d, %d", int32(m.Regs[6]), int32(m.Regs[7]))
+	}
+	if m.Regs[8] != 0xFFFFFFFF || m.Regs[9] != 1000000 {
+		t.Fatalf("div by zero: got 0x%x, %d", m.Regs[8], m.Regs[9])
+	}
+	if m.Regs[11] != uint32(uint64(1000000*1000000)>>32) {
+		t.Fatalf("mulh: got 0x%x", m.Regs[11])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	src := `
+        li   r1, 5
+        li   r2, 0
+        call square        ; r3 = r1*r1
+        add  r2, r2, r3
+        li   r1, 9
+        call square
+        add  r2, r2, r3    ; 25 + 81
+        halt
+square: mul  r3, r1, r1
+        ret
+`
+	m, c, si, sc := runBoth(t, src, 1000, 10000)
+	checkArchMatch(t, m, c, si, sc, 0, 0)
+	if m.Regs[2] != 106 {
+		t.Fatalf("sum of squares = %d, want 106", m.Regs[2])
+	}
+}
+
+func TestSubwordAccess(t *testing.T) {
+	src := `
+        .equ BUF, 0xA000
+        li   r1, BUF
+        li   r2, 0x12345678
+        sw   r2, 0(r1)
+        lb   r3, 0(r1)     ; 0x78
+        lb   r4, 3(r1)     ; 0x12
+        lbu  r5, 1(r1)     ; 0x56
+        lh   r6, 0(r1)     ; 0x5678
+        lhu  r7, 2(r1)     ; 0x1234
+        li   r8, 0xAB
+        sb   r8, 1(r1)     ; word -> 0x1234AB78
+        lw   r9, 0(r1)
+        li   r10, 0xBEEF
+        sh   r10, 2(r1)    ; word -> 0xBEEFAB78
+        lw   r11, 0(r1)
+        li   r12, -2       ; 0xFFFFFFFE
+        sw   r12, 4(r1)
+        lb   r13, 4(r1)    ; sign-extended -2
+        halt
+`
+	m, c, si, sc := runBoth(t, src, 1000, 10000)
+	checkArchMatch(t, m, c, si, sc, 0xA000, 2)
+	if m.Regs[9] != 0x1234AB78 || m.Regs[11] != 0xBEEFAB78 {
+		t.Fatalf("byte/half stores: got 0x%x, 0x%x", m.Regs[9], m.Regs[11])
+	}
+	if int32(m.Regs[13]) != -2 {
+		t.Fatalf("lb sign extension: got %d", int32(m.Regs[13]))
+	}
+}
+
+func TestExternalPeripheral(t *testing.T) {
+	src := `
+        li   r1, 0x80000000
+        lw   r2, 0(r1)      ; sensor read
+        lw   r3, 16(r1)
+        add  r4, r2, r3
+        sw   r4, 32(r1)     ; actuator write
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(10000)
+	if !c.State.Halted || c.State.Trapped() {
+		t.Fatalf("bad final state: halted=%v trapped=%v", c.State.Halted, c.State.Trapped())
+	}
+	want := mem.SensorValue(0x80000000) + mem.SensorValue(0x80000010)
+	if c.State.Regs[4] != want {
+		t.Fatalf("sensor sum: got 0x%x want 0x%x", c.State.Regs[4], want)
+	}
+	if got := sys.Ext().Actuator[8]; got != want {
+		t.Fatalf("actuator[8]: got 0x%x want 0x%x", got, want)
+	}
+	if sys.Ext().Writes != 1 {
+		t.Fatalf("actuator writes: got %d want 1", sys.Ext().Writes)
+	}
+}
+
+func TestIllegalInstructionTraps(t *testing.T) {
+	prog := &asm.Program{Origin: 0, Words: []uint32{0xFFFFFFFF}, Entry: 0}
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, 0)
+	c.Run(100)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseIllegal {
+		t.Fatalf("want illegal trap, got halted=%v cause=%d", c.State.Halted, c.State.ExcCause)
+	}
+	if c.State.EPC != 0 {
+		t.Fatalf("EPC = 0x%x, want 0", c.State.EPC)
+	}
+}
+
+func TestMisalignedAccessTraps(t *testing.T) {
+	src := `
+        li  r1, 0x8001
+        lw  r2, 0(r1)
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(100)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseMisaligned {
+		t.Fatalf("want misaligned trap, got cause=%d", c.State.ExcCause)
+	}
+}
+
+func TestBusFaultTraps(t *testing.T) {
+	src := `
+        li  r1, 0x100000   ; beyond 256KB RAM, below peripheral base
+        lw  r2, 0(r1)
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(100)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseBusFault {
+		t.Fatalf("want bus fault, got cause=%d", c.State.ExcCause)
+	}
+}
+
+func TestFetchFaultTraps(t *testing.T) {
+	src := `
+        li   r1, 0x200000
+        jalr r0, r1, 0     ; jump outside RAM
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(100)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseIFetch {
+		t.Fatalf("want ifetch fault, got cause=%d", c.State.ExcCause)
+	}
+}
+
+// TestLockstepDeterminism verifies the fundamental lockstep property: two
+// identically reset CPUs running the same program produce bit-identical
+// output vectors on every cycle.
+func TestLockstepDeterminism(t *testing.T) {
+	src := `
+        li   r1, 0
+        li   r2, 123
+loop:   mul  r3, r2, r2
+        div  r4, r3, r2
+        addi r1, r1, 1
+        sw   r3, 0x8000(r0)
+        lw   r5, 0x8000(r0)
+        bne  r1, r2, loop
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	main := cpu.New(sys, prog.Entry)
+	red := cpu.New(mem.Monitor{Sys: sys}, prog.Entry)
+	for cyc := 0; cyc < 20000; cyc++ {
+		main.StepCycle()
+		red.StepCycle()
+		om, or := main.State.Outputs(), red.State.Outputs()
+		if d := cpu.Diverge(&om, &or); d != 0 {
+			t.Fatalf("cycle %d: spurious divergence map %#x", cyc, d)
+		}
+		if main.State.Halted {
+			return
+		}
+	}
+	t.Fatal("program did not halt")
+}
+
+// randProgram generates a structured random program: straight-line blocks
+// of arithmetic and memory operations with forward-only branches, plus a
+// bounded counting loop, terminated by HALT. Forward-only control flow
+// guarantees termination.
+func randProgram(r *rand.Rand) string {
+	var b []string
+	emit := func(f string, a ...any) { b = append(b, fmt.Sprintf(f, a...)) }
+	emit("        .equ BUF, 0xC000")
+	// Seed registers (r12 reserved as buffer base, r11 as loop counter).
+	emit("        li r12, BUF")
+	for r0 := 1; r0 <= 10; r0++ {
+		emit("        li r%d, %d", r0, r.Int31n(1<<16)-1<<15)
+	}
+	// Pre-fill buffer.
+	for i := 0; i < 8; i++ {
+		emit("        li r13, %d", r.Int31())
+		emit("        sw r13, %d(r12)", i*4)
+	}
+	nBlocks := 4 + r.Intn(4)
+	for blk := 0; blk < nBlocks; blk++ {
+		n := 4 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			rd := 1 + r.Intn(10)
+			rs1 := 1 + r.Intn(10)
+			rs2 := 1 + r.Intn(10)
+			switch r.Intn(20) {
+			case 0:
+				emit("        add r%d, r%d, r%d", rd, rs1, rs2)
+			case 1:
+				emit("        sub r%d, r%d, r%d", rd, rs1, rs2)
+			case 2:
+				emit("        xor r%d, r%d, r%d", rd, rs1, rs2)
+			case 3:
+				emit("        and r%d, r%d, r%d", rd, rs1, rs2)
+			case 4:
+				emit("        mul r%d, r%d, r%d", rd, rs1, rs2)
+			case 5:
+				emit("        div r%d, r%d, r%d", rd, rs1, rs2)
+			case 6:
+				emit("        rem r%d, r%d, r%d", rd, rs1, rs2)
+			case 7:
+				emit("        slt r%d, r%d, r%d", rd, rs1, rs2)
+			case 8:
+				emit("        addi r%d, r%d, %d", rd, rs1, r.Int31n(4096)-2048)
+			case 9:
+				emit("        srai r%d, r%d, %d", rd, rs1, r.Intn(31))
+			case 10:
+				emit("        lw r%d, %d(r12)", rd, 4*r.Intn(8))
+			case 11:
+				emit("        sw r%d, %d(r12)", rs1, 4*r.Intn(8))
+			case 12:
+				emit("        lb r%d, %d(r12)", rd, r.Intn(32))
+			case 13:
+				emit("        lbu r%d, %d(r12)", rd, r.Intn(32))
+			case 14:
+				emit("        lh r%d, %d(r12)", rd, 2*r.Intn(16))
+			case 15:
+				emit("        lhu r%d, %d(r12)", rd, 2*r.Intn(16))
+			case 16:
+				emit("        sb r%d, %d(r12)", rs1, r.Intn(32))
+			case 17:
+				emit("        sh r%d, %d(r12)", rs1, 2*r.Intn(16))
+			case 18:
+				emit("        sltu r%d, r%d, r%d", rd, rs1, rs2)
+			case 19:
+				emit("        sll r%d, r%d, r%d", rd, rs1, rs2)
+			}
+		}
+		// Forward conditional branch over the next block.
+		if blk < nBlocks-1 {
+			emit("        blt r%d, r%d, skip%d", 1+r.Intn(10), 1+r.Intn(10), blk)
+			emit("        addi r%d, r%d, 1", 1+r.Intn(10), 1+r.Intn(10))
+			emit("skip%d:  nop", blk)
+		}
+	}
+	// A leaf call to exercise JAL/JALR link handling.
+	emit("        call leaf")
+	// A bounded loop to exercise backward branches and hazards.
+	emit("        li r11, %d", 3+r.Intn(8))
+	emit("tail:   lw r1, 0(r12)")
+	emit("        addi r1, r1, 7")
+	emit("        sw r1, 0(r12)")
+	emit("        mul r2, r1, r11")
+	emit("        dec r11")
+	emit("        bne r11, r0, tail")
+	emit("        halt")
+	emit("leaf:   xor r9, r9, r%d", 1+r.Intn(10))
+	emit("        addi r9, r9, %d", r.Intn(64))
+	emit("        ret")
+	var out string
+	for _, l := range b {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestRandomProgramsMatchISS is the differential property test: for many
+// seeded random programs, the pipelined CPU's architectural results must
+// equal the functional simulator's.
+func TestRandomProgramsMatchISS(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := randProgram(rand.New(rand.NewSource(int64(seed))))
+			m, c, si, sc := runBoth(t, src, 50000, 500000)
+			checkArchMatch(t, m, c, si, sc, 0xC000, 8)
+		})
+	}
+}
+
+// TestHaltQuiesces verifies a halted CPU's outputs become static.
+func TestHaltQuiesces(t *testing.T) {
+	prog := asm.MustAssemble("        li r1, 3\n        halt\n")
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if !c.State.Halted {
+		t.Fatal("did not halt")
+	}
+	// Drain, then check that the output port is fully static.
+	for i := 0; i < 10; i++ {
+		c.StepCycle()
+	}
+	before := c.State.Outputs()
+	c.StepCycle()
+	after := c.State.Outputs()
+	if d := cpu.Diverge(&before, &after); d != 0 {
+		t.Fatalf("outputs not quiescent after halt: map %#x", d)
+	}
+}

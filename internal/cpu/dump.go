@@ -1,0 +1,67 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"lockstep/internal/isa"
+)
+
+// Dump renders the pipeline and unit state for humans — the debugging view
+// behind sr5-run -dump and lockstep-trace. One line per pipeline stage
+// with disassembly, then the architectural registers and unit status.
+func (s *State) Dump(w io.Writer) {
+	fmt.Fprintf(w, "cycle %d  retired %d  halted=%v", s.CycCnt, s.RetCnt, s.Halted)
+	if s.ExcValid {
+		fmt.Fprintf(w, "  EXC cause=%d epc=%#x", s.ExcCause, s.EPC)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "  IF : pc=%#08x fq=[%s %s] head=%d\n",
+		s.PC, fqEntry(s, 0), fqEntry(s, 1), s.FQHead&1)
+	fmt.Fprintf(w, "  EX : %s\n", stageInstr(s.DXValid, s.DXPC, s.DXInstr))
+	if s.MulBusy {
+		fmt.Fprintf(w, "       mul busy: %#x * %#x (hi=%v)\n", s.MulA, s.MulB, s.MulHiSel)
+	}
+	if s.DivBusy {
+		fmt.Fprintf(w, "       div busy: cnt=%d rem=%#x quot=%#x\n", s.DivCnt, s.DivRem, s.DivQuot)
+	}
+	fmt.Fprintf(w, "  MEM: %s", stageInstr(s.XMValid, s.XMPC, s.XMInstr))
+	if s.XMValid && (isa.IsLoad(isa.Op(s.XMOp)) || isa.IsStore(isa.Op(s.XMOp))) {
+		fmt.Fprintf(w, "  [lsu addr=%#x be=%x re=%v we=%v]", s.LSUAddr, s.LSUBE, s.LSURe, s.LSUWe)
+	}
+	if s.ExtBusy {
+		fmt.Fprintf(w, "  [biu busy cnt=%d addr=%#x]", s.ExtCnt, s.ExtAddr)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  WB : %s", stageInstr(s.MWValid, s.MWPC, s.MWInstr))
+	if s.MWValid && s.MWWen {
+		fmt.Fprintf(w, "  r%d <- %#x", s.MWRd, s.MWVal)
+	}
+	fmt.Fprintln(w)
+
+	for i := 0; i < 16; i += 4 {
+		fmt.Fprintf(w, "  r%-2d=%08x r%-2d=%08x r%-2d=%08x r%-2d=%08x\n",
+			i, s.Regs[i], i+1, s.Regs[i+1], i+2, s.Regs[i+2], i+3, s.Regs[i+3])
+	}
+	for i := 0; i < MPURegions; i++ {
+		if s.MPUAttr[i]&1 != 0 {
+			fmt.Fprintf(w, "  mpu%d: [%#x, %#x] attr=%x\n",
+				i, s.MPUBase[i], s.MPULimit[i], s.MPUAttr[i])
+		}
+	}
+}
+
+func fqEntry(s *State, i int) string {
+	if !s.FQValid[i] {
+		return "-"
+	}
+	return fmt.Sprintf("%#x", s.FQPC[i])
+}
+
+func stageInstr(valid bool, pc, instr uint32) string {
+	if !valid {
+		return "(bubble)"
+	}
+	return fmt.Sprintf("%#08x: %s", pc, isa.Disassemble(isa.Decode(instr)))
+}

@@ -1,0 +1,226 @@
+package cpu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/iss"
+	"lockstep/internal/mem"
+)
+
+// boundary operand values that historically break ALU/shift/div corner
+// cases.
+var boundaryVals = []uint32{
+	0, 1, 2, 3, 0xFFFFFFFF, 0xFFFFFFFE, // 0, 1, 2, 3, -1, -2
+	0x7FFFFFFF, 0x80000000, 0x80000001, // INT_MAX, INT_MIN, INT_MIN+1
+	31, 32, 33, 0xAAAAAAAA, 0x55555555, 0x12345678,
+}
+
+// runOpProgram executes "op r3, r1, r2" for every boundary operand pair on
+// both engines and compares the results.
+func runOpProgram(t *testing.T, mnemonic string) {
+	t.Helper()
+	for _, a := range boundaryVals {
+		for _, b := range boundaryVals {
+			src := fmt.Sprintf(`
+        li   r1, 0x%x
+        li   r2, 0x%x
+        %s  r3, r1, r2
+        halt
+`, a, b, mnemonic)
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("%s(%#x, %#x): %v", mnemonic, a, b, err)
+			}
+
+			sysI := mem.NewSystem()
+			if err := sysI.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			m := iss.New(sysI, prog.Entry)
+			if _, err := m.Run(200); err != nil {
+				t.Fatalf("%s(%#x, %#x) iss trap: %v", mnemonic, a, b, err)
+			}
+
+			sysC := mem.NewSystem()
+			if err := sysC.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			c := cpu.New(sysC, prog.Entry)
+			c.Run(2000)
+			if !c.State.Drained() || c.State.Trapped() {
+				t.Fatalf("%s(%#x, %#x) cpu did not finish cleanly", mnemonic, a, b)
+			}
+
+			if m.Regs[3] != c.State.Regs[3] {
+				t.Fatalf("%s(%#x, %#x): iss=%#x cpu=%#x",
+					mnemonic, a, b, m.Regs[3], c.State.Regs[3])
+			}
+		}
+	}
+}
+
+// TestALUOpcodeBoundaries runs every R-type ALU opcode over the full
+// boundary-value cross product on both engines. This nails the divider's
+// INT_MIN/-1 and divide-by-zero conventions and the shifters' modulo-32
+// semantics in the pipeline.
+func TestALUOpcodeBoundaries(t *testing.T) {
+	ops := []string{
+		"add", "sub", "and", "or", "xor",
+		"sll", "srl", "sra", "slt", "sltu",
+		"mul", "mulh", "div", "rem",
+	}
+	if testing.Short() {
+		ops = []string{"div", "rem", "mulh", "sra"}
+	}
+	for _, op := range ops {
+		op := op
+		t.Run(op, func(t *testing.T) { runOpProgram(t, op) })
+	}
+}
+
+// TestImmediateOpcodeBoundaries covers the I-type ALU forms with boundary
+// register values and representative immediates.
+func TestImmediateOpcodeBoundaries(t *testing.T) {
+	type icase struct {
+		op  string
+		imm int32
+	}
+	cases := []icase{
+		{"addi", -1}, {"addi", 131071}, {"addi", -131072},
+		{"andi", 0xFF}, {"ori", -1}, {"xori", -1},
+		{"slti", 0}, {"slti", -1},
+		{"slli", 0}, {"slli", 31}, {"srli", 31}, {"srai", 31},
+	}
+	for _, c := range cases {
+		for _, a := range boundaryVals {
+			src := fmt.Sprintf(`
+        li   r1, 0x%x
+        %s  r3, r1, %d
+        halt
+`, a, c.op, c.imm)
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatalf("%s imm %d: %v", c.op, c.imm, err)
+			}
+			sysI := mem.NewSystem()
+			if err := sysI.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			m := iss.New(sysI, prog.Entry)
+			if _, err := m.Run(100); err != nil {
+				t.Fatal(err)
+			}
+			sysC := mem.NewSystem()
+			if err := sysC.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			cp := cpu.New(sysC, prog.Entry)
+			cp.Run(1000)
+			if m.Regs[3] != cp.State.Regs[3] {
+				t.Fatalf("%s(%#x, %d): iss=%#x cpu=%#x",
+					c.op, a, c.imm, m.Regs[3], cp.State.Regs[3])
+			}
+		}
+	}
+}
+
+// TestBranchOpcodeBoundaries checks every branch condition over signed and
+// unsigned boundary pairs on both engines (taken/not-taken agreement).
+func TestBranchOpcodeBoundaries(t *testing.T) {
+	ops := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+	pairs := [][2]uint32{
+		{0, 0}, {1, 0}, {0, 1},
+		{0x7FFFFFFF, 0x80000000}, {0x80000000, 0x7FFFFFFF},
+		{0xFFFFFFFF, 0}, {0, 0xFFFFFFFF}, {0xFFFFFFFF, 0xFFFFFFFF},
+		{0x80000000, 0x80000000},
+	}
+	for _, op := range ops {
+		for _, pr := range pairs {
+			src := fmt.Sprintf(`
+        li   r1, 0x%x
+        li   r2, 0x%x
+        li   r3, 0
+        %s  r1, r2, taken
+        addi r3, r3, 1     ; not taken path
+taken:  addi r3, r3, 2
+        halt
+`, pr[0], pr[1], op)
+			prog, err := asm.Assemble(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysI := mem.NewSystem()
+			if err := sysI.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			m := iss.New(sysI, prog.Entry)
+			if _, err := m.Run(100); err != nil {
+				t.Fatal(err)
+			}
+			sysC := mem.NewSystem()
+			if err := sysC.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			cp := cpu.New(sysC, prog.Entry)
+			cp.Run(1000)
+			if m.Regs[3] != cp.State.Regs[3] {
+				t.Fatalf("%s(%#x, %#x): iss r3=%d cpu r3=%d",
+					op, pr[0], pr[1], m.Regs[3], cp.State.Regs[3])
+			}
+		}
+	}
+}
+
+// TestLoadStoreWidthBoundaries crosses every load/store width with every
+// alignment-legal offset and sign pattern on both engines.
+func TestLoadStoreWidthBoundaries(t *testing.T) {
+	patterns := []uint32{0x00000000, 0xFFFFFFFF, 0x80808080, 0x7F7F7F7F, 0x12345678}
+	for _, pat := range patterns {
+		src := fmt.Sprintf(`
+        .equ BUF, 0x9000
+        li   r1, BUF
+        li   r2, 0x%x
+        sw   r2, 0(r1)
+        lb   r3, 0(r1)
+        lb   r4, 1(r1)
+        lb   r5, 2(r1)
+        lb   r6, 3(r1)
+        lbu  r7, 3(r1)
+        lh   r8, 0(r1)
+        lh   r9, 2(r1)
+        lhu  r10, 2(r1)
+        sb   r2, 5(r1)
+        sh   r2, 10(r1)
+        lw   r11, 4(r1)
+        lw   r12, 8(r1)
+        halt
+`, pat)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysI := mem.NewSystem()
+		if err := sysI.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		m := iss.New(sysI, prog.Entry)
+		if _, err := m.Run(200); err != nil {
+			t.Fatal(err)
+		}
+		sysC := mem.NewSystem()
+		if err := sysC.LoadProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		cp := cpu.New(sysC, prog.Entry)
+		cp.Run(2000)
+		for r := 3; r <= 12; r++ {
+			if m.Regs[r] != cp.State.Regs[r] {
+				t.Fatalf("pattern %#x: r%d iss=%#x cpu=%#x",
+					pat, r, m.Regs[r], cp.State.Regs[r])
+			}
+		}
+	}
+}

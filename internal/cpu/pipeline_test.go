@@ -1,0 +1,345 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+// runCycles assembles src, runs to drain, and returns (cycles, instret).
+func runCycles(t *testing.T, src string) (int, uint32) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	cycles := c.Run(100000)
+	if !c.State.Drained() {
+		t.Fatal("did not drain")
+	}
+	if c.State.Trapped() {
+		t.Fatalf("trapped: cause=%d", c.State.ExcCause)
+	}
+	return cycles, c.State.RetCnt
+}
+
+// TestStraightLineCPI: a long chain of independent ALU instructions
+// sustains one instruction per cycle once the pipeline is full.
+func TestStraightLineCPI(t *testing.T) {
+	body := ""
+	for i := 0; i < 200; i++ {
+		body += "        addi r1, r1, 1\n        addi r2, r2, 2\n"
+	}
+	cycles, instret := runCycles(t, body+"        halt\n")
+	cpi := float64(cycles) / float64(instret)
+	if cpi > 1.2 {
+		t.Fatalf("straight-line CPI %.2f (cycles=%d, instret=%d); pipeline not streaming",
+			cpi, cycles, instret)
+	}
+}
+
+// TestBackToBackForwarding: dependent ALU chains must not stall (EX<-MEM
+// and EX<-WB forwarding paths).
+func TestBackToBackForwarding(t *testing.T) {
+	indep := ""
+	dep := ""
+	for i := 0; i < 100; i++ {
+		indep += "        addi r1, r1, 1\n        addi r2, r2, 1\n        addi r3, r3, 1\n"
+		dep += "        addi r1, r1, 1\n        addi r1, r1, 1\n        addi r1, r1, 1\n"
+	}
+	ci, _ := runCycles(t, indep+"        halt\n")
+	cd, _ := runCycles(t, dep+"        halt\n")
+	if diff := cd - ci; diff > 5 {
+		t.Fatalf("dependent chain costs %d extra cycles; forwarding broken", diff)
+	}
+}
+
+// TestLoadUseStallIsOneBubble: a dependent use immediately after a load
+// costs exactly one extra cycle compared to an independent instruction in
+// between.
+func TestLoadUseStallIsOneBubble(t *testing.T) {
+	prologue := `
+        li   r10, 0x8000
+        li   r9, 42
+        sw   r9, 0(r10)
+`
+	direct := prologue
+	spaced := prologue
+	for i := 0; i < 50; i++ {
+		direct += "        lw r1, 0(r10)\n        add r2, r1, r1\n"
+		spaced += "        lw r1, 0(r10)\n        addi r5, r5, 1\n        add r2, r1, r1\n"
+	}
+	cd, id := runCycles(t, direct+"        halt\n")
+	cs, is := runCycles(t, spaced+"        halt\n")
+	// spaced executes 50 more instructions; if the load-use bubble is one
+	// cycle, both bodies take about the same number of cycles.
+	if is-id != 50 {
+		t.Fatalf("instruction count delta %d, want 50", is-id)
+	}
+	if delta := cs - cd; delta < -5 || delta > 10 {
+		t.Fatalf("load-use bubble wrong: direct=%d cyc, spaced=%d cyc", cd, cs)
+	}
+}
+
+// TestTakenBranchPenalty: taken branches cost a small, bounded flush
+// penalty.
+func TestTakenBranchPenalty(t *testing.T) {
+	// Loop with one taken branch per 4 instructions.
+	loop := `
+        li   r1, 200
+loop:   addi r2, r2, 1
+        addi r3, r3, 1
+        dec  r1
+        bne  r1, r0, loop
+        halt
+`
+	cycles, instret := runCycles(t, loop)
+	cpi := float64(cycles) / float64(instret)
+	// 1 taken branch per 4 instructions; penalty p gives CPI = 1 + p/4.
+	if cpi < 1.2 || cpi > 2.6 {
+		t.Fatalf("branch-heavy CPI %.2f outside plausible flush-penalty band", cpi)
+	}
+}
+
+// TestNotTakenBranchIsCheap: a never-taken branch adds no flush penalty.
+func TestNotTakenBranchIsCheap(t *testing.T) {
+	body := ""
+	for i := 0; i < 100; i++ {
+		body += "        beq r1, r2, never\n        addi r3, r3, 1\n"
+	}
+	body += "        halt\nnever:  halt\n"
+	cycles, instret := runCycles(t, "        li r1, 1\n        li r2, 2\n"+body)
+	cpi := float64(cycles) / float64(instret)
+	if cpi > 1.2 {
+		t.Fatalf("not-taken branch CPI %.2f; static not-taken fetch broken", cpi)
+	}
+}
+
+// TestDividerLatency: DIV occupies EX for a bounded iterative latency.
+func TestDividerLatency(t *testing.T) {
+	base, _ := runCycles(t, "        li r1, 1000\n        li r2, 7\n        halt\n")
+	withDiv, _ := runCycles(t, "        li r1, 1000\n        li r2, 7\n        div r3, r1, r2\n        halt\n")
+	lat := withDiv - base
+	if lat < 15 || lat > 22 {
+		t.Fatalf("divider latency %d cycles, want ~18 (1 init + 16 iterate + 1 finish)", lat)
+	}
+}
+
+// TestMultiplierLatency: MUL costs one extra cycle over an ALU op.
+func TestMultiplierLatency(t *testing.T) {
+	withAdd, _ := runCycles(t, "        li r1, 3\n        li r2, 5\n        add r3, r1, r2\n        halt\n")
+	withMul, _ := runCycles(t, "        li r1, 3\n        li r2, 5\n        mul r3, r1, r2\n        halt\n")
+	if lat := withMul - withAdd; lat != 1 {
+		t.Fatalf("multiplier adds %d cycles over ALU, want 1 (2-cycle pipelined)", lat)
+	}
+}
+
+// TestExternalAccessLatency: peripheral loads occupy the memory stage for
+// ExtLatency cycles.
+func TestExternalAccessLatency(t *testing.T) {
+	tcm, _ := runCycles(t, `
+        li r1, 0x8000
+        lw r2, 0(r1)
+        halt
+`)
+	ext, _ := runCycles(t, `
+        li r1, 0x80000000
+        lw r2, 0(r1)
+        halt
+`)
+	// li of the 32-bit peripheral base is 2 words vs 1, costing one extra
+	// instruction; the remaining delta is BIU wait states.
+	if delta := ext - tcm; delta < cpu.ExtLatency-1 || delta > cpu.ExtLatency+2 {
+		t.Fatalf("external access delta %d cycles, ExtLatency=%d", delta, cpu.ExtLatency)
+	}
+}
+
+// TestStoreToLoadThroughMemory: a store followed immediately by a load of
+// the same address returns the stored value (no stale forwarding).
+func TestStoreToLoadThroughMemory(t *testing.T) {
+	prog := asm.MustAssemble(`
+        li  r1, 0x8000
+        li  r2, 1234
+        sw  r2, 0(r1)
+        lw  r3, 0(r1)
+        add r4, r3, r3
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if c.State.Regs[3] != 1234 || c.State.Regs[4] != 2468 {
+		t.Fatalf("r3=%d r4=%d", c.State.Regs[3], c.State.Regs[4])
+	}
+}
+
+// TestJALRLinkAndTarget: the link register and the computed target are
+// both correct under forwarding.
+func TestJALRLinkAndTarget(t *testing.T) {
+	prog := asm.MustAssemble(`
+        li   r1, target
+        addi r1, r1, 0     ; forwarded target address
+        jalr r2, r1, 0
+dead:   halt               ; skipped
+target: addi r3, r0, 7
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if c.State.Regs[3] != 7 {
+		t.Fatal("jalr did not reach target")
+	}
+	if c.State.Regs[2] != prog.Symbols["dead"] {
+		t.Fatalf("link=%#x, want %#x", c.State.Regs[2], prog.Symbols["dead"])
+	}
+}
+
+// TestRDCYCMonotone: successive RDCYCs observe strictly increasing cycle
+// counts.
+func TestRDCYCMonotone(t *testing.T) {
+	prog := asm.MustAssemble(`
+        rdcyc r1
+        rdcyc r2
+        rdcyc r3
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(100)
+	if !(c.State.Regs[1] < c.State.Regs[2] && c.State.Regs[2] < c.State.Regs[3]) {
+		t.Fatalf("rdcyc sequence %d, %d, %d not increasing",
+			c.State.Regs[1], c.State.Regs[2], c.State.Regs[3])
+	}
+}
+
+// TestMPUFaultInPipeline: the pipelined CPU raises the MPU cause, with the
+// EPC pointing at the denied access.
+func TestMPUFaultInPipeline(t *testing.T) {
+	prog := asm.MustAssemble(`
+        .equ WIN, 0xF0000
+        li   r1, WIN
+        li   r2, 0x8000
+        sw   r2, 0(r1)
+        li   r2, 0x8FFF
+        sw   r2, 4(r1)
+        li   r2, 3
+        sw   r2, 8(r1)
+        li   r3, 0x9000
+denied: lw   r4, 0(r3)
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseMPU {
+		t.Fatalf("want MPU trap, got halted=%v cause=%d", c.State.Halted, c.State.ExcCause)
+	}
+	if c.State.EPC != prog.Symbols["denied"] {
+		t.Fatalf("EPC=%#x, want %#x", c.State.EPC, prog.Symbols["denied"])
+	}
+}
+
+// TestMPUReadback: system-register loads come back through the pipeline.
+func TestMPUReadback(t *testing.T) {
+	prog := asm.MustAssemble(`
+        .equ WIN, 0xF0000
+        li   r1, WIN
+        li   r2, 0xABCD
+        sw   r2, 16(r1)     ; region 1 base
+        lw   r3, 16(r1)
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if c.State.Regs[3] != 0xABCD {
+		t.Fatalf("readback %#x", c.State.Regs[3])
+	}
+	if c.State.MPUBase[1] != 0xABCD {
+		t.Fatalf("MPU register not written: %#x", c.State.MPUBase[1])
+	}
+}
+
+// TestMPUReadOnlyRegionBlocksStores: the pipeline honours the write-allow
+// attribute bit.
+func TestMPUReadOnlyRegionBlocksStores(t *testing.T) {
+	prog := asm.MustAssemble(`
+        .equ WIN, 0xF0000
+        li   r1, WIN
+        sw   r0, 0(r1)
+        li   r2, 0x3FFFF
+        sw   r2, 4(r1)
+        li   r2, 1          ; enabled, read-only
+        sw   r2, 8(r1)
+        lw   r3, 0x8000(r0) ; read allowed
+        sw   r3, 0x8000(r0) ; write denied
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(1000)
+	if !c.State.Trapped() || c.State.ExcCause != cpu.CauseMPU {
+		t.Fatalf("want MPU trap on read-only store, got cause=%d", c.State.ExcCause)
+	}
+}
+
+// TestDivThenExternalAccess: an iterative divide immediately followed by a
+// multi-cycle peripheral access (back-to-back EX and MEM stalls) retires
+// correctly.
+func TestDivThenExternalAccess(t *testing.T) {
+	prog := asm.MustAssemble(`
+        li   r1, 1000003
+        li   r2, 17
+        div  r3, r1, r2
+        li   r4, 0x80000000
+        sw   r3, 8(r4)
+        lw   r5, 0(r4)
+        div  r6, r5, r2
+        halt
+`)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, prog.Entry)
+	c.Run(5000)
+	if !c.State.Drained() || c.State.Trapped() {
+		t.Fatal("did not finish cleanly")
+	}
+	if c.State.Regs[3] != 1000003/17 {
+		t.Fatalf("div result %d", c.State.Regs[3])
+	}
+	if got := sys.Ext().Actuator[2]; got != 1000003/17 {
+		t.Fatalf("actuator %d", got)
+	}
+	want := uint32(int32(mem.SensorValue(0x80000000)) / 17) // DIV is signed
+	if c.State.Regs[6] != want {
+		t.Fatalf("second div %d, want %d", c.State.Regs[6], want)
+	}
+}

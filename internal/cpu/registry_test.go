@@ -1,0 +1,193 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"unsafe"
+
+	"lockstep/internal/mem"
+	"lockstep/internal/units"
+)
+
+func TestRegistryNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Registry() {
+		if r.Name == "" {
+			t.Fatal("unnamed register")
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate register name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Width == 0 || r.Width > 32 {
+			t.Fatalf("%s: width %d", r.Name, r.Width)
+		}
+		if !r.Unit.Valid() || !r.Fine.Valid() {
+			t.Fatalf("%s: bad unit tags", r.Name)
+		}
+		if r.Fine.Coarse() != r.Unit {
+			t.Fatalf("%s: fine %v does not map to coarse %v", r.Name, r.Fine, r.Unit)
+		}
+	}
+}
+
+// TestRegistryGetSetRoundTrip: every register stores and returns arbitrary
+// patterns masked to its width, without touching other registers.
+func TestRegistryGetSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for ri, r := range Registry() {
+		var s State
+		pattern := rng.Uint32()
+		r.Set(&s, pattern)
+		mask := uint32(1)<<r.Width - 1
+		if r.Width == 32 {
+			mask = ^uint32(0)
+		}
+		if got := r.Get(&s); got != pattern&mask {
+			t.Fatalf("%s: set %#x, got %#x (mask %#x)", r.Name, pattern, got, mask)
+		}
+		// No other register changed.
+		for rj, other := range Registry() {
+			if rj != ri && other.Get(&s) != 0 {
+				t.Fatalf("setting %s leaked into %s", r.Name, other.Name)
+			}
+		}
+	}
+}
+
+// TestFlipBitInvolution: flipping the same flop twice restores the state.
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(flopRaw uint32, seed int64) bool {
+		flop := int(flopRaw) % NumFlops()
+		rng := rand.New(rand.NewSource(seed))
+		var s State
+		for _, r := range Registry() {
+			r.Set(&s, rng.Uint32())
+		}
+		orig := s
+		FlipBit(&s, flop)
+		if s == orig {
+			return false // must change something
+		}
+		FlipBit(&s, flop)
+		return s == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForceBitIdempotent: forcing is idempotent and GetBit observes it.
+func TestForceBitIdempotent(t *testing.T) {
+	f := func(flopRaw uint32, v bool) bool {
+		flop := int(flopRaw) % NumFlops()
+		var s State
+		ForceBit(&s, flop, v)
+		once := s
+		ForceBit(&s, flop, v)
+		return s == once && GetBit(&s, flop) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlopIndexBijection(t *testing.T) {
+	for i := 0; i < NumFlops(); i++ {
+		if got := FlopIndex(FlopAt(i)); got != i {
+			t.Fatalf("flop %d round-trips to %d", i, got)
+		}
+	}
+}
+
+func TestFlopCountsConsistent(t *testing.T) {
+	var unitSum, fineSum int
+	for u := 0; u < units.NumUnits; u++ {
+		unitSum += UnitFlops(units.Unit(u))
+	}
+	for f := 0; f < units.NumFine; f++ {
+		fineSum += FineFlops(units.Fine(f))
+	}
+	if unitSum != NumFlops() || fineSum != NumFlops() {
+		t.Fatalf("unit sum %d, fine sum %d, total %d", unitSum, fineSum, NumFlops())
+	}
+	// DPU coarse = sum of its fine sub-units.
+	var dpu int
+	for f := units.FineDPUDecode; f < units.NumFine; f++ {
+		dpu += FineFlops(f)
+	}
+	if dpu != UnitFlops(units.DPU) {
+		t.Fatalf("DPU fine sum %d != coarse %d", dpu, UnitFlops(units.DPU))
+	}
+	// Every unit has some state.
+	for u := 0; u < units.NumUnits; u++ {
+		if UnitFlops(units.Unit(u)) == 0 {
+			t.Fatalf("unit %v has no flops", units.Unit(u))
+		}
+	}
+}
+
+// TestRegistryWidthAccounting cross-checks the registry's total width
+// against a manual census of the State struct: every injectable bit is
+// registered exactly once (the paper's methodology requires covering
+// every flip-flop).
+func TestRegistryWidthAccounting(t *testing.T) {
+	// Architectural census of State (see state.go):
+	want := 0
+	want += 32 + 2*32 + 2*32 + 2*1 + 1       // PFU: PC, FQInstr, FQPC, FQValid, FQHead
+	want += 32 + 1 + 32                      // IMC
+	want += 6 + 4 + 32 + 32 + 32 + 1         // DPU decode
+	want += 32 + 32 + 4 + 4                  // DPU operand
+	want += 15 * 32                          // DPU regfile (R0 hardwired)
+	want += 6 + 4 + 32 + 32 + 32 + 32 + 1    // DPU ALU latch
+	want += 1 + 32 + 32 + 1                  // DPU mul
+	want += 1 + 5 + 32 + 32 + 32 + 1 + 1 + 1 // DPU div
+	want += 4 + 32 + 32 + 32 + 1 + 1         // DPU retire
+	want += 32 + 32 + 4 + 1 + 1              // LSU
+	want += 32 + 32 + 4 + 1 + 1 + 32         // DMC
+	want += 32 + 32 + 4 + 1 + 1 + 1 + 2 + 32 // BIU
+	want += 32 + 32 + 1 + 1 + 3 + 32         // SCU core
+	want += MPURegions * (32 + 32 + 2)       // SCU MPU
+	if NumFlops() != want {
+		t.Fatalf("registry covers %d flops, census says %d", NumFlops(), want)
+	}
+	// The State struct itself should not dwarf the census (a new field
+	// would likely change the size; this is a tripwire, not an exact
+	// check).
+	if unsafe.Sizeof(State{}) > 1024 {
+		t.Fatalf("State grew to %d bytes; update the registry and census", unsafe.Sizeof(State{}))
+	}
+}
+
+// TestStepTotalOnRandomStates: fault injection can leave the CPU in any
+// state the registry can express; Step must be total (no panics, no
+// out-of-range anything) from every such state.
+func TestStepTotalOnRandomStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sys := mem.NewSystem()
+	for trial := 0; trial < 300; trial++ {
+		var s State
+		for _, r := range Registry() {
+			r.Set(&s, rng.Uint32())
+		}
+		for i := 0; i < 25; i++ {
+			Step(&s, sys)
+			_ = s.Outputs()
+		}
+	}
+}
+
+func TestFlopNameFormat(t *testing.T) {
+	if name := FlopName(0); name != "PC[0]" {
+		t.Fatalf("first flop name %q", name)
+	}
+}
+
+func TestFlopUnitTagging(t *testing.T) {
+	for i := 0; i < NumFlops(); i++ {
+		if FlopFine(i).Coarse() != FlopUnit(i) {
+			t.Fatalf("flop %d: inconsistent unit tags", i)
+		}
+	}
+}

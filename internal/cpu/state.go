@@ -1,0 +1,256 @@
+// Package cpu implements SR5, a cycle-accurate five-stage in-order RISC CPU
+// written at register-transfer level: every microarchitectural state bit is
+// an explicitly enumerated flip-flop tagged with the logical unit it belongs
+// to (see internal/units), so fault-injection campaigns can target any flop
+// with single-cycle transient flips or persistent stuck-at forcing — the
+// same methodology the paper applies to a Cortex-R5 netlist.
+//
+// The CPU is organised into the seven coarse units of the paper's Figure 8:
+//
+//	PFU  prefetch unit: PC, two-entry fetch queue, redirect handling
+//	IMC  instruction memory control: instruction-port interface registers
+//	DPU  data processing unit: decode/operand latches, register file, ALU
+//	     (EX/MEM latch), 2-cycle multiplier, iterative divider, retire latch
+//	LSU  load/store unit: in-flight access registers
+//	DMC  data memory control: data-port interface registers
+//	BIU  bus interface unit: external (peripheral) bus master
+//	SCU  system control unit: counters, exception and halt state
+//
+// All output-port signals compared by the lockstep checker are registered
+// (pure functions of State), so a divergence observed by the checker at
+// cycle N reflects flop state latched at the end of cycle N.
+package cpu
+
+import "lockstep/internal/mem"
+
+// Exception causes recorded in the SCU when the CPU enters its trapped
+// (halted-with-error) state.
+const (
+	CauseNone       = 0
+	CauseIllegal    = 1 // undefined opcode reached decode
+	CauseMisaligned = 2 // data access not aligned to its size
+	CauseBusFault   = 3 // data access outside RAM and peripheral regions
+	CauseIFetch     = 4 // instruction fetch from a non-executable address
+	CauseMPU        = 5 // data access denied by the memory protection unit
+)
+
+// ExtLatency is the number of cycles an external (BIU) access occupies the
+// memory stage: one setup cycle plus ExtLatency-1 wait states.
+const ExtLatency = 3
+
+// State holds every flip-flop of the SR5 CPU. It is a plain comparable
+// value: copying it snapshots the CPU and == detects state convergence
+// after a masked transient fault. Field groups correspond to the flop
+// registry in registry.go; adding a field requires adding it there too
+// (the registry test cross-checks total width against unsafe.Sizeof-based
+// accounting of known fields).
+type State struct {
+	// --- PFU ---
+	PC      uint32    // next fetch address
+	FQInstr [2]uint32 // fetch queue: instruction words
+	FQPC    [2]uint32 // fetch queue: fetch addresses
+	FQValid [2]bool   // fetch queue: entry valid bits
+	FQHead  uint8     // index of oldest valid entry (1 bit)
+
+	// --- IMC ---
+	IReqAddr  uint32 // registered instruction-port address
+	IReqValid bool   // registered instruction-port request strobe
+	IFData    uint32 // registered fetched instruction word
+
+	// --- DPU: decode (ID/EX control latch) ---
+	DXOp    uint8  // opcode (6 bits)
+	DXRd    uint8  // destination register (4 bits)
+	DXImm   uint32 // sign-extended immediate
+	DXPC    uint32 // instruction address
+	DXInstr uint32 // raw instruction word (trace)
+	DXValid bool
+
+	// --- DPU: operand latches ---
+	DXRs1Val uint32 // captured/refreshed source 1 value
+	DXRs2Val uint32 // captured/refreshed source 2 value
+	DXRs1    uint8  // source 1 register number (4 bits)
+	DXRs2    uint8  // source 2 register number (4 bits)
+
+	// --- DPU: register file (R0 is hardwired zero, not a flop) ---
+	Regs [16]uint32
+
+	// --- DPU: ALU (EX/MEM latch) ---
+	XMOp    uint8
+	XMRd    uint8
+	XMAlu   uint32 // ALU result / effective address / link value
+	XMStore uint32 // store data (pre-lane-alignment)
+	XMPC    uint32
+	XMInstr uint32
+	XMValid bool
+
+	// --- DPU: multiplier (2-cycle) ---
+	MulBusy  bool
+	MulA     uint32
+	MulB     uint32
+	MulHiSel bool // true for MULH
+
+	// --- DPU: iterative divider (2 bits per cycle, restoring) ---
+	DivBusy    bool
+	DivCnt     uint8 // remaining iteration pairs (5 bits)
+	DivRem     uint32
+	DivQuot    uint32
+	DivDivisor uint32
+	DivNegQ    bool // quotient sign fixup
+	DivNegR    bool // remainder sign fixup
+	DivIsRem   bool // REM selects remainder
+
+	// --- DPU: retire (MEM/WB latch) ---
+	MWRd    uint8
+	MWVal   uint32
+	MWPC    uint32
+	MWInstr uint32
+	MWValid bool
+	MWWen   bool
+
+	// --- LSU: in-flight data access ---
+	LSUAddr uint32
+	LSUData uint32 // store data shifted to byte lanes
+	LSUBE   uint8  // byte enables (4 bits)
+	LSURe   bool
+	LSUWe   bool
+
+	// --- DMC: data-port interface registers ---
+	DAddr  uint32
+	DWData uint32
+	DBE    uint8
+	DRe    bool
+	DWe    bool
+	DRData uint32 // registered read data
+
+	// --- BIU: external bus master ---
+	ExtAddr  uint32
+	ExtWData uint32
+	ExtBE    uint8
+	ExtRe    bool
+	ExtWe    bool
+	ExtBusy  bool
+	ExtCnt   uint8 // wait-state countdown (2 bits)
+	ExtRData uint32
+
+	// --- SCU ---
+	CycCnt   uint32
+	RetCnt   uint32
+	Halted   bool
+	ExcValid bool
+	ExcCause uint8 // 3 bits
+	EPC      uint32
+
+	// --- SCU: memory protection unit ---
+	// Eight data-side regions programmed through the system-register
+	// window (MMIOBase). A region allows accesses in [Base, Limit] when
+	// its attr enable bit is set; stores additionally need the write bit.
+	// With no region enabled the MPU is inactive (reset state). This is
+	// the configured-once, consulted-always state a real-time CPU like the
+	// Cortex-R5 carries; transient faults in it are almost always
+	// harmless while stuck-at faults eventually deny or corrupt accesses.
+	MPUBase  [MPURegions]uint32
+	MPULimit [MPURegions]uint32
+	MPUAttr  [MPURegions]uint8 // bit0 enable, bit1 write-allow
+}
+
+// MPURegions is the number of MPU regions.
+const MPURegions = 8
+
+// System-register window (data side): the MPU programming interface.
+// Region i occupies 16 bytes: +0 base, +4 limit, +8 attr.
+const (
+	MMIOBase = 0x000F0000
+	MMIOEnd  = MMIOBase + MPURegions*16
+)
+
+// MPUAllows checks a data access against the MPU configuration.
+func (s *State) MPUAllows(addr uint32, write bool) bool {
+	any := false
+	for i := 0; i < MPURegions; i++ {
+		attr := s.MPUAttr[i]
+		if attr&1 == 0 {
+			continue
+		}
+		any = true
+		if addr >= s.MPUBase[i] && addr <= s.MPULimit[i] && (!write || attr&2 != 0) {
+			return true
+		}
+	}
+	return !any
+}
+
+// MPURead returns the system-register word at a window offset.
+func (s *State) MPURead(addr uint32) uint32 {
+	off := addr - MMIOBase
+	i := off / 16
+	switch off % 16 {
+	case 0:
+		return s.MPUBase[i]
+	case 4:
+		return s.MPULimit[i]
+	case 8:
+		return uint32(s.MPUAttr[i] & 3)
+	}
+	return 0
+}
+
+// MPUWrite updates the system-register word at a window offset.
+func (s *State) MPUWrite(addr, data, mask uint32) {
+	off := addr - MMIOBase
+	i := off / 16
+	switch off % 16 {
+	case 0:
+		s.MPUBase[i] = s.MPUBase[i]&^mask | data&mask
+	case 4:
+		s.MPULimit[i] = s.MPULimit[i]&^mask | data&mask
+	case 8:
+		s.MPUAttr[i] = uint8((uint32(s.MPUAttr[i])&^mask | data&mask) & 3)
+	}
+}
+
+// Reset initialises the CPU to its architectural reset state with the given
+// entry PC. Lockstep requires main and redundant CPUs to reset to identical
+// internal state (Section II of the paper); zeroing every flop guarantees
+// that.
+func (s *State) Reset(entry uint32) {
+	*s = State{PC: entry}
+}
+
+// Halted CPUs have quiesced: no fetch, no issue; the pipeline drains.
+// Trapped reports whether the CPU halted due to an exception.
+func (s *State) Trapped() bool { return s.Halted && s.ExcValid }
+
+// Drained reports whether the CPU has halted and all in-flight
+// instructions have retired.
+func (s *State) Drained() bool {
+	return s.Halted && !s.DXValid && !s.XMValid && !s.MWValid && !s.ExtBusy
+}
+
+// CPU bundles a State with the bus it executes against. The zero CPU is
+// not usable; construct with New.
+type CPU struct {
+	State State
+	Bus   mem.Bus
+}
+
+// New returns a CPU reset to entry, executing against bus.
+func New(bus mem.Bus, entry uint32) *CPU {
+	c := &CPU{Bus: bus}
+	c.State.Reset(entry)
+	return c
+}
+
+// StepCycle advances the CPU by one clock cycle.
+func (c *CPU) StepCycle() { Step(&c.State, c.Bus) }
+
+// Run steps until the CPU halts and drains, or maxCycles elapse, returning
+// the number of cycles executed.
+func (c *CPU) Run(maxCycles int) int {
+	for i := 0; i < maxCycles; i++ {
+		if c.State.Drained() {
+			return i
+		}
+		c.StepCycle()
+	}
+	return maxCycles
+}

@@ -1,0 +1,303 @@
+// Package dataset holds the logged results of fault-injection experiments
+// (the "lockstep error data logging" stage of the paper's Figure 7) and the
+// train/test machinery: random-sampling splits and 5-fold cross validation.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+// Record is one fault-injection experiment's log entry. Every injection is
+// recorded; only records with Detected set carry a meaningful DSR and
+// detection cycle and participate in predictor training.
+type Record struct {
+	Kernel      string
+	Flop        int
+	Unit        units.Unit
+	Fine        units.Fine
+	Kind        lockstep.FaultKind
+	InjectCycle int
+	Detected    bool
+	DetectCycle int
+	DSR         uint64
+	Converged   bool // soft fault provably masked before the horizon
+}
+
+// Hard reports whether the injected fault was permanent.
+func (r Record) Hard() bool { return r.Kind.IsHard() }
+
+// ManifestationCycles is fault occurrence to error detection (only
+// meaningful when Detected).
+func (r Record) ManifestationCycles() int { return r.DetectCycle - r.InjectCycle }
+
+// Dataset is an ordered collection of records.
+type Dataset struct {
+	Records []Record
+}
+
+// Manifested returns the sub-dataset of detected errors — the ~2M
+// "manifested error data points" of Section IV-A, at our scale.
+func (d *Dataset) Manifested() *Dataset {
+	out := &Dataset{}
+	for _, r := range d.Records {
+		if r.Detected {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Split partitions the dataset into train and test by random sampling with
+// the given train fraction, as in the paper's Figure 7.
+func (d *Dataset) Split(rng *rand.Rand, trainFrac float64) (train, test *Dataset) {
+	perm := rng.Perm(len(d.Records))
+	nTrain := int(float64(len(d.Records)) * trainFrac)
+	train, test = &Dataset{}, &Dataset{}
+	for i, p := range perm {
+		if i < nTrain {
+			train.Records = append(train.Records, d.Records[p])
+		} else {
+			test.Records = append(test.Records, d.Records[p])
+		}
+	}
+	return train, test
+}
+
+// Balanced returns a class-balanced sub-dataset of detected errors: equal
+// numbers of soft and hard records, sampled without replacement. The
+// paper's train/test datasets are class-balanced — its Table III overall
+// accuracy (67% from 86% soft / 49% hard) and the "43% fewer SBIST
+// invocations" statistic are only consistent with a roughly 50/50
+// soft/hard error mix.
+func (d *Dataset) Balanced(rng *rand.Rand) *Dataset {
+	var soft, hard []Record
+	for _, r := range d.Records {
+		if !r.Detected {
+			continue
+		}
+		if r.Hard() {
+			hard = append(hard, r)
+		} else {
+			soft = append(soft, r)
+		}
+	}
+	n := len(soft)
+	if len(hard) < n {
+		n = len(hard)
+	}
+	rng.Shuffle(len(soft), func(i, j int) { soft[i], soft[j] = soft[j], soft[i] })
+	rng.Shuffle(len(hard), func(i, j int) { hard[i], hard[j] = hard[j], hard[i] })
+	out := &Dataset{Records: make([]Record, 0, 2*n)}
+	out.Records = append(out.Records, soft[:n]...)
+	out.Records = append(out.Records, hard[:n]...)
+	rng.Shuffle(len(out.Records), func(i, j int) {
+		out.Records[i], out.Records[j] = out.Records[j], out.Records[i]
+	})
+	return out
+}
+
+// Fold is one cross-validation fold.
+type Fold struct {
+	Train *Dataset
+	Test  *Dataset
+}
+
+// Folds produces k-fold cross-validation splits after a random shuffle
+// (the paper uses 5-fold cross validation).
+func (d *Dataset) Folds(rng *rand.Rand, k int) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	perm := rng.Perm(len(d.Records))
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		folds[f].Train = &Dataset{}
+		folds[f].Test = &Dataset{}
+	}
+	for i, p := range perm {
+		bucket := i % k
+		for f := 0; f < k; f++ {
+			if f == bucket {
+				folds[f].Test.Records = append(folds[f].Test.Records, d.Records[p])
+			} else {
+				folds[f].Train.Records = append(folds[f].Train.Records, d.Records[p])
+			}
+		}
+	}
+	return folds
+}
+
+// UnitStats aggregates per-unit manifestation statistics, the raw material
+// of the paper's Table I.
+type UnitStats struct {
+	Injected    int
+	Manifested  int
+	ManifestSum int64 // sum of manifestation times (cycles)
+	ManifestMin int
+	ManifestMax int
+}
+
+// Rate is the unit's error manifestation rate: manifested / injected.
+func (u UnitStats) Rate() float64 {
+	if u.Injected == 0 {
+		return 0
+	}
+	return float64(u.Manifested) / float64(u.Injected)
+}
+
+// MeanTime is the unit's mean manifestation time in cycles.
+func (u UnitStats) MeanTime() float64 {
+	if u.Manifested == 0 {
+		return 0
+	}
+	return float64(u.ManifestSum) / float64(u.Manifested)
+}
+
+func (u *UnitStats) add(r Record) {
+	u.Injected++
+	if !r.Detected {
+		return
+	}
+	t := r.ManifestationCycles()
+	if u.Manifested == 0 || t < u.ManifestMin {
+		u.ManifestMin = t
+	}
+	if t > u.ManifestMax {
+		u.ManifestMax = t
+	}
+	u.Manifested++
+	u.ManifestSum += int64(t)
+}
+
+// ByUnit aggregates records of one fault class ("hard" selects permanent
+// faults) into per-coarse-unit statistics.
+func (d *Dataset) ByUnit(hard bool) [units.NumUnits]UnitStats {
+	var out [units.NumUnits]UnitStats
+	for _, r := range d.Records {
+		if r.Hard() == hard {
+			out[r.Unit].add(r)
+		}
+	}
+	return out
+}
+
+// ByFine aggregates per-fine-unit statistics.
+func (d *Dataset) ByFine(hard bool) [units.NumFine]UnitStats {
+	var out [units.NumFine]UnitStats
+	for _, r := range d.Records {
+		if r.Hard() == hard {
+			out[r.Fine].add(r)
+		}
+	}
+	return out
+}
+
+// DistinctDSRs counts the distinct diverged-SC sets among detected records
+// (the paper observes about 1200 on the Cortex-R5).
+func (d *Dataset) DistinctDSRs() int {
+	seen := make(map[uint64]struct{})
+	for _, r := range d.Records {
+		if r.Detected {
+			seen[r.DSR] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// ---- serialization -------------------------------------------------------
+
+// csvHeader is the on-disk column layout.
+const csvHeader = "kernel,flop,unit,fine,kind,inject,detected,detect,dsr,converged"
+
+// WriteCSV streams the dataset in a stable text format.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
+		return err
+	}
+	for _, r := range d.Records {
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%d,%t,%d,%x,%t\n",
+			r.Kernel, r.Flop, r.Unit, r.Fine, r.Kind, r.InjectCycle,
+			r.Detected, r.DetectCycle, r.DSR, r.Converged); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := &Dataset{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 {
+			if text != csvHeader {
+				return nil, fmt.Errorf("dataset: bad header %q", text)
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 10 {
+			return nil, fmt.Errorf("dataset: line %d: %d fields", line, len(f))
+		}
+		var rec Record
+		rec.Kernel = f[0]
+		var err error
+		if rec.Flop, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: flop: %w", line, err)
+		}
+		u, err := strconv.Atoi(f[2])
+		if err != nil || u < 0 || u >= units.NumUnits {
+			return nil, fmt.Errorf("dataset: line %d: bad unit %q", line, f[2])
+		}
+		rec.Unit = units.Unit(u)
+		fu, err := strconv.Atoi(f[3])
+		if err != nil || fu < 0 || fu >= units.NumFine {
+			return nil, fmt.Errorf("dataset: line %d: bad fine unit %q", line, f[3])
+		}
+		rec.Fine = units.Fine(fu)
+		kd, err := strconv.Atoi(f[4])
+		if err != nil || kd < 0 || kd >= lockstep.NumFaultKinds {
+			return nil, fmt.Errorf("dataset: line %d: bad kind %q", line, f[4])
+		}
+		rec.Kind = lockstep.FaultKind(kd)
+		if rec.InjectCycle, err = strconv.Atoi(f[5]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: inject: %w", line, err)
+		}
+		if rec.Detected, err = strconv.ParseBool(f[6]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: detected: %w", line, err)
+		}
+		if rec.DetectCycle, err = strconv.Atoi(f[7]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: detect: %w", line, err)
+		}
+		if rec.DSR, err = strconv.ParseUint(f[8], 16, 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: dsr: %w", line, err)
+		}
+		if rec.Converged, err = strconv.ParseBool(f[9]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: converged: %w", line, err)
+		}
+		d.Records = append(d.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,239 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+func randRecord(rng *rand.Rand) Record {
+	fine := units.Fine(rng.Intn(units.NumFine))
+	r := Record{
+		Kernel:      []string{"ttsprk", "rspeed", "matrix"}[rng.Intn(3)],
+		Flop:        rng.Intn(2000),
+		Unit:        fine.Coarse(),
+		Fine:        fine,
+		Kind:        lockstep.FaultKind(rng.Intn(lockstep.NumFaultKinds)),
+		InjectCycle: rng.Intn(10000),
+	}
+	if rng.Intn(2) == 0 {
+		r.Detected = true
+		r.DetectCycle = r.InjectCycle + rng.Intn(2000)
+		r.DSR = rng.Uint64() & (1<<62 - 1)
+		if r.DSR == 0 {
+			r.DSR = 1
+		}
+	} else if r.Kind == lockstep.SoftFlip {
+		r.Converged = rng.Intn(2) == 0
+	}
+	return r
+}
+
+func randDataset(rng *rand.Rand, n int) *Dataset {
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		d.Records = append(d.Records, randRecord(rng))
+	}
+	return d
+}
+
+// TestCSVRoundTrip: WriteCSV then ReadCSV reproduces the dataset exactly.
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		d := randDataset(rng, rng.Intn(200))
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != d.Len() {
+			t.Fatalf("lengths: %d vs %d", got.Len(), d.Len())
+		}
+		for i := range d.Records {
+			if got.Records[i] != d.Records[i] {
+				t.Fatalf("record %d: %+v vs %+v", i, got.Records[i], d.Records[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"wrong,header\n",
+		csvHeader + "\nttsprk,notanumber,0,0,0,0,false,0,0,false\n",
+		csvHeader + "\nttsprk,1,99,0,0,0,false,0,0,false\n", // bad unit
+		csvHeader + "\nttsprk,1,0,99,0,0,false,0,0,false\n", // bad fine
+		csvHeader + "\nttsprk,1,0,0,9,0,false,0,0,false\n",  // bad kind
+		csvHeader + "\nttsprk,1,0,0,0,0,maybe,0,0,false\n",  // bad bool
+		csvHeader + "\nttsprk,1,0,0,0,0,false,0,zz,false\n", // bad dsr
+		csvHeader + "\nttsprk,1,0,0,0,0,false,0\n",          // short row
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestManifestedFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := randDataset(rng, 500)
+	man := d.Manifested()
+	for _, r := range man.Records {
+		if !r.Detected {
+			t.Fatal("undetected record in manifested view")
+		}
+	}
+	count := 0
+	for _, r := range d.Records {
+		if r.Detected {
+			count++
+		}
+	}
+	if man.Len() != count {
+		t.Fatalf("manifested %d, want %d", man.Len(), count)
+	}
+}
+
+// TestSplitPartition: split is a disjoint exhaustive partition.
+func TestSplitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := randDataset(rng, 300)
+	train, test := d.Split(rng, 0.8)
+	if train.Len()+test.Len() != d.Len() {
+		t.Fatalf("split sizes %d + %d != %d", train.Len(), test.Len(), d.Len())
+	}
+	if train.Len() != 240 {
+		t.Fatalf("train size %d, want 240", train.Len())
+	}
+}
+
+// TestFoldsPartition: each record appears in exactly one fold's test split
+// and in k-1 folds' train splits.
+func TestFoldsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := randDataset(rng, 137)
+	const k = 5
+	folds := d.Folds(rng, k)
+	if len(folds) != k {
+		t.Fatalf("%d folds", len(folds))
+	}
+	testTotal, trainTotal := 0, 0
+	for _, f := range folds {
+		testTotal += f.Test.Len()
+		trainTotal += f.Train.Len()
+		if f.Test.Len()+f.Train.Len() != d.Len() {
+			t.Fatalf("fold does not cover dataset: %d + %d", f.Test.Len(), f.Train.Len())
+		}
+	}
+	if testTotal != d.Len() {
+		t.Fatalf("test totals %d, want %d", testTotal, d.Len())
+	}
+	if trainTotal != (k-1)*d.Len() {
+		t.Fatalf("train totals %d, want %d", trainTotal, (k-1)*d.Len())
+	}
+}
+
+func TestFoldsMinimumK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := randDataset(rng, 10)
+	if got := len(d.Folds(rng, 0)); got != 2 {
+		t.Fatalf("k clamp: %d folds", got)
+	}
+}
+
+// TestBalancedInvariants: equal class counts, all detected, subset of the
+// original records.
+func TestBalancedInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := randDataset(rng, 400)
+	bal := d.Balanced(rng)
+	soft, hard := 0, 0
+	for _, r := range bal.Records {
+		if !r.Detected {
+			t.Fatal("undetected record in balanced set")
+		}
+		if r.Hard() {
+			hard++
+		} else {
+			soft++
+		}
+	}
+	if soft != hard {
+		t.Fatalf("unbalanced: soft %d, hard %d", soft, hard)
+	}
+	if soft == 0 {
+		t.Fatal("empty balanced set")
+	}
+}
+
+func TestByUnitConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := randDataset(rng, 600)
+	for _, hard := range []bool{false, true} {
+		coarse := d.ByUnit(hard)
+		fine := d.ByFine(hard)
+		var cInj, fInj, cMan, fMan int
+		for _, s := range coarse {
+			cInj += s.Injected
+			cMan += s.Manifested
+		}
+		for _, s := range fine {
+			fInj += s.Injected
+			fMan += s.Manifested
+		}
+		if cInj != fInj || cMan != fMan {
+			t.Fatalf("coarse/fine totals disagree: %d/%d vs %d/%d", cInj, cMan, fInj, fMan)
+		}
+		// DPU coarse = sum of DPU fine sub-units.
+		dpuFine := 0
+		for f := units.FineDPUDecode; f < units.NumFine; f++ {
+			dpuFine += fine[f].Injected
+		}
+		if coarse[units.DPU].Injected != dpuFine {
+			t.Fatalf("DPU coarse %d != sum of fine %d", coarse[units.DPU].Injected, dpuFine)
+		}
+	}
+}
+
+func TestUnitStatsMath(t *testing.T) {
+	var u UnitStats
+	if u.Rate() != 0 || u.MeanTime() != 0 {
+		t.Fatal("zero-value stats should be zero")
+	}
+	u.add(Record{Detected: true, InjectCycle: 10, DetectCycle: 30})
+	u.add(Record{Detected: true, InjectCycle: 10, DetectCycle: 20})
+	u.add(Record{Detected: false})
+	if u.Injected != 3 || u.Manifested != 2 {
+		t.Fatalf("%+v", u)
+	}
+	if u.Rate() != 2.0/3.0 {
+		t.Fatalf("rate %v", u.Rate())
+	}
+	if u.MeanTime() != 15 {
+		t.Fatalf("mean time %v", u.MeanTime())
+	}
+	if u.ManifestMin != 10 || u.ManifestMax != 20 {
+		t.Fatalf("min/max %d/%d", u.ManifestMin, u.ManifestMax)
+	}
+}
+
+func TestDistinctDSRs(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		{Detected: true, DSR: 5},
+		{Detected: true, DSR: 5},
+		{Detected: true, DSR: 9},
+		{Detected: false, DSR: 1}, // not counted
+	}}
+	if got := d.DistinctDSRs(); got != 2 {
+		t.Fatalf("distinct %d, want 2", got)
+	}
+}

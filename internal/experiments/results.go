@@ -1,0 +1,869 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"lockstep/internal/core"
+	"lockstep/internal/costmodel"
+	"lockstep/internal/cpu"
+	"lockstep/internal/dataset"
+	"lockstep/internal/inject"
+	"lockstep/internal/sbist"
+	"lockstep/internal/stats"
+	"lockstep/internal/units"
+)
+
+// ---------------------------------------------------------------- Table I
+
+// Table1 reproduces the paper's Table I: soft/hard error manifestation
+// rates (min/mean/max across CPU units) and manifestation times
+// (min/mean/max across errors), plus the aggregate statistics quoted in
+// Section IV-B.
+type Table1 struct {
+	SoftRate stats.Summary
+	HardRate stats.Summary
+	SoftTime stats.Summary
+	HardTime stats.Summary
+
+	Experiments  int
+	Manifested   int
+	OverallRate  float64
+	MeanDetect   float64 // average manifestation time over all errors
+	DistinctSets int
+}
+
+// Table1 computes the manifestation statistics.
+func (c *Context) Table1() Table1 {
+	var t Table1
+	for _, hard := range []bool{false, true} {
+		byUnit := c.DS.ByUnit(hard)
+		var rates []float64
+		var times []float64
+		for _, us := range byUnit {
+			if us.Injected > 0 {
+				rates = append(rates, us.Rate())
+			}
+		}
+		for _, r := range c.DS.Records {
+			if r.Detected && r.Hard() == hard {
+				times = append(times, float64(r.ManifestationCycles()))
+			}
+		}
+		if hard {
+			t.HardRate = stats.Summarize(rates)
+			t.HardTime = stats.Summarize(times)
+		} else {
+			t.SoftRate = stats.Summarize(rates)
+			t.SoftTime = stats.Summarize(times)
+		}
+	}
+	t.Experiments = c.DS.Len()
+	man := c.DS.Manifested()
+	t.Manifested = man.Len()
+	if t.Experiments > 0 {
+		t.OverallRate = float64(t.Manifested) / float64(t.Experiments)
+	}
+	var all []float64
+	for _, r := range man.Records {
+		all = append(all, float64(r.ManifestationCycles()))
+	}
+	t.MeanDetect = stats.Mean(all)
+	t.DistinctSets = c.DS.DistinctDSRs()
+	return t
+}
+
+// Print renders Table I next to the paper's numbers.
+func (t Table1) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table I — fault injection statistics [min, mean, max]")
+	fmt.Fprintf(w, "  %-32s %-24s paper: [0.2%%, 5%%, 27%%]\n",
+		"Soft error manifestation rate", pctSummary(t.SoftRate))
+	fmt.Fprintf(w, "  %-32s %-24s paper: [3%%, 40%%, 88%%]\n",
+		"Hard error manifestation rate", pctSummary(t.HardRate))
+	fmt.Fprintf(w, "  %-32s %-24s paper: [2, 700, 80k] cyc\n",
+		"Soft error manifestation time", t.SoftTime.String())
+	fmt.Fprintf(w, "  %-32s %-24s paper: [2, 1800, 130k] cyc\n",
+		"Hard error manifestation time", t.HardTime.String())
+	fmt.Fprintf(w, "  Aggregates: %d experiments, %d manifested (%.1f%%, paper ~20%%), "+
+		"mean detection %.0f cyc (paper ~1300), %d distinct diverged SC sets (paper ~1200)\n",
+		t.Experiments, t.Manifested, 100*t.OverallRate, t.MeanDetect, t.DistinctSets)
+}
+
+func pctSummary(s stats.Summary) string {
+	return fmt.Sprintf("[%.1f%%, %.1f%%, %.1f%%]", 100*s.Min, 100*s.Mean, 100*s.Max)
+}
+
+// ------------------------------------------------------ per-unit breakdown
+
+// UnitBreakdown details Table I per CPU unit: injected/manifested counts,
+// rates and mean manifestation times for each fault class — the per-unit
+// data behind the paper's min/mean/max rows.
+type UnitBreakdown struct {
+	Gran  core.Granularity
+	Names []string
+	Flops []int
+	Soft  []dataset.UnitStats
+	Hard  []dataset.UnitStats
+}
+
+// Units computes the per-unit breakdown at a granularity.
+func (c *Context) Units(gran core.Granularity) UnitBreakdown {
+	ub := UnitBreakdown{Gran: gran}
+	if gran == core.Fine13 {
+		soft := c.DS.ByFine(false)
+		hard := c.DS.ByFine(true)
+		for f := 0; f < units.NumFine; f++ {
+			ub.Names = append(ub.Names, units.Fine(f).String())
+			ub.Flops = append(ub.Flops, cpu.FineFlops(units.Fine(f)))
+			ub.Soft = append(ub.Soft, soft[f])
+			ub.Hard = append(ub.Hard, hard[f])
+		}
+		return ub
+	}
+	soft := c.DS.ByUnit(false)
+	hard := c.DS.ByUnit(true)
+	for u := 0; u < units.NumUnits; u++ {
+		ub.Names = append(ub.Names, units.Unit(u).String())
+		ub.Flops = append(ub.Flops, cpu.UnitFlops(units.Unit(u)))
+		ub.Soft = append(ub.Soft, soft[u])
+		ub.Hard = append(ub.Hard, hard[u])
+	}
+	return ub
+}
+
+// Print renders the per-unit table.
+func (ub UnitBreakdown) Print(w io.Writer) {
+	fmt.Fprintf(w, "Per-unit manifestation breakdown (%v)\n", ub.Gran)
+	fmt.Fprintf(w, "  %-12s %6s  %22s  %22s\n", "unit", "flops",
+		"soft rate / mean cyc", "hard rate / mean cyc")
+	for i, name := range ub.Names {
+		fmt.Fprintf(w, "  %-12s %6d  %9.1f%% / %-10.0f  %9.1f%% / %-10.0f\n",
+			name, ub.Flops[i],
+			100*ub.Soft[i].Rate(), ub.Soft[i].MeanTime(),
+			100*ub.Hard[i].Rate(), ub.Hard[i].MeanTime())
+	}
+}
+
+// --------------------------------------------------------------- Table II
+
+// Table2 reproduces the paper's Table II: the latencies the LERT models
+// use. STL latencies are the synthetic per-unit values; restart latencies
+// are measured from the kernels.
+type Table2 struct {
+	OnChipAccess  int64
+	OffChipAccess int64
+	STL           stats.Summary
+	Restart       stats.Summary
+}
+
+// Table2 gathers model latencies.
+func (c *Context) Table2() Table2 {
+	stl := sbist.DefaultSTL(core.Coarse7)
+	f := make([]float64, len(stl))
+	for i, v := range stl {
+		f[i] = float64(v)
+	}
+	var restarts []float64
+	for _, v := range c.restartMap {
+		restarts = append(restarts, float64(v))
+	}
+	return Table2{
+		OnChipAccess:  sbist.OnChipTableAccess,
+		OffChipAccess: sbist.OffChipTableAccess,
+		STL:           stats.Summarize(f),
+		Restart:       stats.Summarize(restarts),
+	}
+}
+
+// Print renders Table II.
+func (t Table2) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table II — model latencies (cycles)")
+	fmt.Fprintf(w, "  Prediction table access: %d on-chip / %d off-chip (paper: 2 / 100)\n",
+		t.OnChipAccess, t.OffChipAccess)
+	fmt.Fprintf(w, "  STL latency range:     %-24s paper: [25k, 170k, 700k]\n", t.STL.String())
+	fmt.Fprintf(w, "  Restart latency range: %-24s paper: [2k, 10k, 36k]\n", t.Restart.String())
+}
+
+// -------------------------------------------------------------- Table III
+
+// Table3 reproduces the error-type prediction accuracies of Table III via
+// 5-fold cross validation, plus the Section III-B hard-vs-soft
+// Bhattacharyya analysis per unit.
+type Table3 struct {
+	Soft    float64
+	Hard    float64
+	Overall float64
+
+	TypeBC    []float64 // per coarse unit: BC(hard dist, soft dist)
+	TypeBCAvg float64
+}
+
+// Table3 evaluates type prediction across folds.
+func (c *Context) Table3() Table3 {
+	var t Table3
+	var softSum, hardSum, overallSum float64
+	for fi, f := range c.folds {
+		table := core.Train(f.Train, core.Coarse7, 0)
+		s, h, o := table.TypeAccuracy(c.balancedTest(fi))
+		softSum += s
+		hardSum += h
+		overallSum += o
+	}
+	n := float64(len(c.folds))
+	t.Soft, t.Hard, t.Overall = softSum/n, hardSum/n, overallSum/n
+	t.TypeBC = core.TypeBC(c.DS, core.Coarse7)
+	t.TypeBCAvg = stats.Mean(t.TypeBC)
+	return t
+}
+
+// Print renders Table III.
+func (t Table3) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table III — error type prediction accuracy (pred-comb, 5-fold CV)")
+	fmt.Fprintf(w, "  Soft:    %-8s paper: 86%%\n", stats.Percent(t.Soft))
+	fmt.Fprintf(w, "  Hard:    %-8s paper: 49%%\n", stats.Percent(t.Hard))
+	fmt.Fprintf(w, "  Overall: %-8s paper: 67%%\n", stats.Percent(t.Overall))
+	fmt.Fprintf(w, "  Hard-vs-soft distribution BC per unit (paper: 0.3 min, 0.95 max, 0.6 avg): avg %.2f\n",
+		t.TypeBCAvg)
+}
+
+// -------------------------------------------------------------- Table IV
+
+// Table4 computes the area/power overhead comparison using the gate-level
+// cost model; PTAR width and set count come from a table trained on the
+// full dataset.
+func (c *Context) Table4() costmodel.TableIV {
+	table := core.Train(c.DS, core.Coarse7, 0)
+	return costmodel.ComputeTableIV(table.Dict.PTARBits(), table.Dict.Len())
+}
+
+// PrintTable4 renders Table IV.
+func PrintTable4(w io.Writer, t costmodel.TableIV) {
+	fmt.Fprintln(w, "Table IV — predictor area and power overhead (gate-level cost model)")
+	fmt.Fprintf(w, "  Predictor block: %d flops + %d gates = %.0f um2, %.1f uW\n",
+		t.Predictor.Flops, t.Predictor.Gates, t.Predictor.AreaUM2(), t.Predictor.PowerUW())
+	fmt.Fprintf(w, "  vs dual-SR5 lockstep:     area %-7s power %-7s (paper vs dual-R5: 0.6%% / 1.8%%)\n",
+		stats.Percent(t.VsSR5DMR.Area), stats.Percent(t.VsSR5DMR.Power))
+	fmt.Fprintf(w, "  vs single SR5 CPU:        area %-7s power %-7s (paper vs one R5: 1.4%% / 4.2%%)\n",
+		stats.Percent(t.VsSR5.Area), stats.Percent(t.VsSR5.Power))
+	fmt.Fprintf(w, "  vs dual R5-class lockstep: area %-7s power %-7s (calibration at Cortex-R5 scale)\n",
+		stats.Percent(t.VsR5DMR.Area), stats.Percent(t.VsR5DMR.Power))
+	fmt.Fprintf(w, "  vs one R5-class CPU:       area %-7s power %-7s\n",
+		stats.Percent(t.VsR5.Area), stats.Percent(t.VsR5.Power))
+}
+
+// ------------------------------------------------------- Figures 4 and 5
+
+// FigBC reproduces Figures 4 (hard) and 5 (soft): per-unit probability
+// distributions over diverged-SC sets and their pairwise Bhattacharyya
+// coefficients; the paper plots the min, median and max BC units.
+type FigBC struct {
+	HardErrors bool
+	UnitBC     []float64 // avg pairwise BC per coarse unit
+	AvgBC      float64
+	MinUnit    int
+	MedUnit    int
+	MaxUnit    int
+	Dists      [][]float64 // per unit distribution over set IDs
+	SetSizes   int         // number of distinct sets on the axis
+}
+
+// FigUnitBC computes the distribution analysis for one fault class.
+func (c *Context) FigUnitBC(hard bool) FigBC {
+	dict := core.NewSetDict()
+	dists := core.UnitDistributions(c.DS, core.Coarse7, dict, hard)
+	bc := stats.MeanPairwiseBC(dists)
+	f := FigBC{HardErrors: hard, UnitBC: bc, AvgBC: stats.Mean(bc), Dists: dists, SetSizes: dict.Len()}
+	order := stats.ArgsortAsc(bc)
+	f.MinUnit = order[0]
+	f.MedUnit = order[len(order)/2]
+	f.MaxUnit = order[len(order)-1]
+	return f
+}
+
+// Print renders the BC analysis with small textual histograms.
+func (f FigBC) Print(w io.Writer) {
+	kind, figure, paperAvg := "soft", "Figure 5", 0.32
+	if f.HardErrors {
+		kind, figure, paperAvg = "hard", "Figure 4", 0.39
+	}
+	fmt.Fprintf(w, "%s — %s error distributions over %d diverged SC sets\n", figure, kind, f.SetSizes)
+	gran := core.Coarse7
+	for _, u := range []int{f.MinUnit, f.MedUnit, f.MaxUnit} {
+		fmt.Fprintf(w, "  %-12s avg BC vs other units: %.2f\n", gran.UnitName(u), f.UnitBC[u])
+		printHistHead(w, f.Dists[u], 8)
+	}
+	fmt.Fprintf(w, "  Average BC over all units: %.2f (paper: ~%.2f)\n", f.AvgBC, paperAvg)
+}
+
+func printHistHead(w io.Writer, dist []float64, n int) {
+	idx := stats.ArgsortDesc(dist)
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	for _, id := range idx {
+		if dist[id] <= 0 {
+			break
+		}
+		bar := int(dist[id]*40 + 0.5)
+		fmt.Fprintf(w, "    set %-5d %5.1f%% %s\n", id, 100*dist[id], bars(bar))
+	}
+}
+
+func bars(n int) string {
+	if n > 40 {
+		n = 40
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// ------------------------------------------------- Figures 11 and 14
+
+// ModelComparison reproduces Figures 11 (7 units) and 14 (13 units): the
+// average LERT per error and units tested for all five models, averaged
+// over the cross-validation folds.
+type ModelComparison struct {
+	Gran  core.Granularity
+	LBIST bool         // latencies model LBIST scan sessions instead of STLs
+	Rows  []sbist.Eval // base-random, base-ascending, base-manifest, pred-location-only, pred-comb
+
+	CombVsManifest  float64 // LERT reduction of pred-comb vs base-manifest
+	CombVsAscending float64
+	CombVsLocation  float64
+	LocVsManifest   float64
+	LocVsAscending  float64
+}
+
+// ModelNames is the canonical model order of the comparison figures.
+var ModelNames = []string{
+	"base-random", "base-ascending", "base-manifest", "pred-location-only", "pred-comb",
+}
+
+// Compare evaluates all five models at the given granularity and table
+// access latency.
+func (c *Context) Compare(gran core.Granularity, tableAccess int64) ModelComparison {
+	return c.compare(gran, tableAccess, false)
+}
+
+// CompareLBIST is the Section III extension: the same five models driving
+// LBIST scan-chain diagnosis (per-unit session costs derived from the
+// registry's real flop counts) instead of software test libraries.
+func (c *Context) CompareLBIST(gran core.Granularity, tableAccess int64) ModelComparison {
+	return c.compare(gran, tableAccess, true)
+}
+
+func (c *Context) compare(gran core.Granularity, tableAccess int64, lbist bool) ModelComparison {
+	sums := make([]sbist.Eval, len(ModelNames))
+	for fi, f := range c.folds {
+		cfg := sbist.NewConfig(gran, c.restartMap, tableAccess)
+		if lbist {
+			cfg = sbist.NewLBISTConfig(gran, c.restartMap, tableAccess)
+		}
+		table := core.Train(f.Train, gran, 0)
+		test := f.Test
+		models := []sbist.Model{
+			sbist.BaseRandom{Cfg: cfg},
+			sbist.NewBaseAscending(cfg),
+			sbist.NewBaseManifest(cfg, f.Train),
+			sbist.PredLocationOnly{Cfg: cfg, Table: table},
+			sbist.PredComb{Cfg: cfg, Table: table},
+		}
+		for i, m := range models {
+			e := sbist.Evaluate(m, test, c.Scale.Seed+int64(fi))
+			sums[i].Model = e.Model
+			sums[i].MeanLERT += e.MeanLERT
+			sums[i].P95LERT += e.P95LERT
+			if e.MaxLERT > sums[i].MaxLERT {
+				sums[i].MaxLERT = e.MaxLERT
+			}
+			sums[i].MeanUnits += e.MeanUnits
+			sums[i].SBISTShare += e.SBISTShare
+			sums[i].N += e.N
+		}
+	}
+	n := float64(len(c.folds))
+	for i := range sums {
+		sums[i].MeanLERT /= n
+		sums[i].P95LERT /= n
+		sums[i].MeanUnits /= n
+		sums[i].SBISTShare /= n
+	}
+	mc := ModelComparison{Gran: gran, Rows: sums, LBIST: lbist}
+	red := func(from, to float64) float64 {
+		if from == 0 {
+			return 0
+		}
+		return 1 - to/from
+	}
+	mc.CombVsManifest = red(sums[2].MeanLERT, sums[4].MeanLERT)
+	mc.CombVsAscending = red(sums[1].MeanLERT, sums[4].MeanLERT)
+	mc.CombVsLocation = red(sums[3].MeanLERT, sums[4].MeanLERT)
+	mc.LocVsManifest = red(sums[2].MeanLERT, sums[3].MeanLERT)
+	mc.LocVsAscending = red(sums[1].MeanLERT, sums[3].MeanLERT)
+	return mc
+}
+
+// Print renders the comparison in the style of the paper's bar annotations
+// (average tested units and exact average LERT per bar).
+func (mc ModelComparison) Print(w io.Writer) {
+	figure, paper := "Figure 11 (7 units)",
+		"paper speedups: pred-comb 65%/64%/39% vs base-manifest/base-ascending/pred-location-only"
+	if mc.Gran == core.Fine13 {
+		figure, paper = "Figure 14 (13 units)",
+			"paper speedups: pred-comb 64%/42%/34% vs base-manifest/base-ascending/pred-location-only"
+	}
+	if mc.LBIST {
+		figure += " [LBIST latencies, Section III extension]"
+	}
+	fmt.Fprintf(w, "%s — average LERT per error\n", figure)
+	for _, r := range mc.Rows {
+		fmt.Fprintf(w, "  %-20s LERT %9.0f cyc (p95 %9.0f, max %9.0f)   units %.2f   SBIST on %.0f%% of errors\n",
+			r.Model, r.MeanLERT, r.P95LERT, r.MaxLERT, r.MeanUnits, 100*r.SBISTShare)
+	}
+	fmt.Fprintf(w, "  pred-location-only reduction: %s vs base-manifest (paper 43%%*), %s vs base-ascending (paper 40%%*)\n",
+		stats.Percent(mc.LocVsManifest), stats.Percent(mc.LocVsAscending))
+	fmt.Fprintf(w, "  pred-comb reduction: %s vs base-manifest, %s vs base-ascending, %s vs pred-location-only\n",
+		stats.Percent(mc.CombVsManifest), stats.Percent(mc.CombVsAscending), stats.Percent(mc.CombVsLocation))
+	fmt.Fprintf(w, "  (%s; *7-unit numbers)\n", paper)
+}
+
+// -------------------------------------------------- on-/off-chip table
+
+// OnOffChip reproduces Section V-B: the LERT sensitivity of keeping the
+// prediction table on-chip (2-cycle access) vs off-chip (100-cycle).
+type OnOffChip struct {
+	LocOn, LocOff   float64
+	CombOn, CombOff float64
+}
+
+// OnOffChipAnalysis evaluates both prediction models at both latencies.
+func (c *Context) OnOffChipAnalysis() OnOffChip {
+	on := c.Compare(core.Coarse7, sbist.OnChipTableAccess)
+	off := c.Compare(core.Coarse7, sbist.OffChipTableAccess)
+	return OnOffChip{
+		LocOn:   on.Rows[3].MeanLERT,
+		LocOff:  off.Rows[3].MeanLERT,
+		CombOn:  on.Rows[4].MeanLERT,
+		CombOff: off.Rows[4].MeanLERT,
+	}
+}
+
+// Print renders the on-/off-chip overhead.
+func (o OnOffChip) Print(w io.Writer) {
+	ovh := func(on, off float64) float64 {
+		if on == 0 {
+			return 0
+		}
+		return off/on - 1
+	}
+	fmt.Fprintln(w, "Section V-B — prediction table on-chip (2 cyc) vs off-chip (100 cyc)")
+	fmt.Fprintf(w, "  pred-location-only: %0.0f -> %0.0f cyc, overhead %.3f%% (paper 0.05%%)\n",
+		o.LocOn, o.LocOff, 100*ovh(o.LocOn, o.LocOff))
+	fmt.Fprintf(w, "  pred-comb:          %0.0f -> %0.0f cyc, overhead %.3f%% (paper 0.05%%)\n",
+		o.CombOn, o.CombOff, 100*ovh(o.CombOn, o.CombOff))
+}
+
+// --------------------------------------- Figures 12/13 and 15/16
+
+// TopKSweep reproduces the predicted-unit-count sweeps: location
+// prediction accuracy (Figures 12/15) and average LERT with speedup vs
+// base-ascending (Figures 13/16) as the table stores 1..N units per entry.
+type TopKSweep struct {
+	Gran       core.Granularity
+	K          []int
+	Accuracy   []float64
+	LERT       []float64
+	Speedup    []float64 // vs base-ascending
+	TableBytes []int     // prediction table storage at this K
+	BaseLERT   float64   // base-ascending reference
+}
+
+// SweepTopK evaluates pred-comb with top-K truncated tables.
+func (c *Context) SweepTopK(gran core.Granularity) TopKSweep {
+	n := gran.Units()
+	sw := TopKSweep{Gran: gran}
+	// base-ascending reference, averaged over folds.
+	var baseSum float64
+	for fi, f := range c.folds {
+		cfg := sbist.NewConfig(gran, c.restartMap, sbist.OffChipTableAccess)
+		e := sbist.Evaluate(sbist.NewBaseAscending(cfg), f.Test, c.Scale.Seed+int64(fi))
+		baseSum += e.MeanLERT
+	}
+	sw.BaseLERT = baseSum / float64(len(c.folds))
+
+	for k := 1; k <= n; k++ {
+		var accSum, lertSum float64
+		for fi, f := range c.folds {
+			cfg := sbist.NewConfig(gran, c.restartMap, sbist.OffChipTableAccess)
+			table := core.Train(f.Train, gran, k)
+			test := f.Test
+			accSum += table.LocationAccuracy(test, k)
+			e := sbist.Evaluate(sbist.PredComb{Cfg: cfg, Table: table}, test, c.Scale.Seed+int64(fi))
+			lertSum += e.MeanLERT
+		}
+		nf := float64(len(c.folds))
+		lert := lertSum / nf
+		sw.K = append(sw.K, k)
+		sw.Accuracy = append(sw.Accuracy, accSum/nf)
+		sw.LERT = append(sw.LERT, lert)
+		sw.Speedup = append(sw.Speedup, 1-lert/sw.BaseLERT)
+		full := core.Train(c.DS, gran, k)
+		sw.TableBytes = append(sw.TableBytes, (full.TableBits()+7)/8)
+	}
+	return sw
+}
+
+// Print renders the sweep series.
+func (sw TopKSweep) Print(w io.Writer) {
+	accFig, lertFig := "Figure 12", "Figure 13"
+	note := "paper: 70%/85%/95% at K=1/2/3, sweet spot 3-4 units with 60-63% speedup"
+	if sw.Gran == core.Fine13 {
+		accFig, lertFig = "Figure 15", "Figure 16"
+		note = "paper: 42% at K=1, ~95% at K=7, sweet spot 7-8 units with 36-39% speedup"
+	}
+	fmt.Fprintf(w, "%s / %s — pred-comb with K predicted units (%s)\n", accFig, lertFig, note)
+	fmt.Fprintf(w, "  base-ascending reference LERT: %.0f cyc\n", sw.BaseLERT)
+	for i, k := range sw.K {
+		fmt.Fprintf(w, "  K=%-2d location accuracy %5.1f%%   LERT %9.0f cyc   speedup vs base-ascending %5.1f%%   table %d B\n",
+			k, 100*sw.Accuracy[i], sw.LERT[i], 100*sw.Speedup[i], sw.TableBytes[i])
+	}
+	fmt.Fprintln(w, "  (paper: 1.5-2KB at 3-4 coarse units, 4-5KB at 7-8 fine units, 3.2KB full coarse)")
+}
+
+// --------------------------------------------------- hard/soft spread
+
+// Spread reproduces the Section III-B statistic: hard errors produce more
+// distinct diverged SC sets than soft errors injected into the same flops
+// (54% more in the paper).
+type Spread struct {
+	SoftSets, HardSets int     // distinct sets, same-flop population
+	MorePct            float64 // (hard-soft)/soft
+	SoftAvgSCs         float64 // avg diverged SCs per detection
+	HardAvgSCs         float64
+}
+
+// SpreadAnalysis computes the statistic over flops with detections in both
+// classes.
+func (c *Context) SpreadAnalysis() Spread {
+	type sets struct {
+		soft map[uint64]struct{}
+		hard map[uint64]struct{}
+	}
+	perFlop := map[int]*sets{}
+	for _, r := range c.DS.Records {
+		if !r.Detected {
+			continue
+		}
+		s := perFlop[r.Flop]
+		if s == nil {
+			s = &sets{soft: map[uint64]struct{}{}, hard: map[uint64]struct{}{}}
+			perFlop[r.Flop] = s
+		}
+		if r.Hard() {
+			s.hard[r.DSR] = struct{}{}
+		} else {
+			s.soft[r.DSR] = struct{}{}
+		}
+	}
+	softSets := map[uint64]struct{}{}
+	hardSets := map[uint64]struct{}{}
+	for _, s := range perFlop {
+		if len(s.soft) == 0 || len(s.hard) == 0 {
+			continue // same-flop comparison only
+		}
+		for k := range s.soft {
+			softSets[k] = struct{}{}
+		}
+		for k := range s.hard {
+			hardSets[k] = struct{}{}
+		}
+	}
+	var softBits, hardBits, softN, hardN float64
+	for _, r := range c.DS.Records {
+		if !r.Detected {
+			continue
+		}
+		bits := float64(popcount(r.DSR))
+		if r.Hard() {
+			hardBits += bits
+			hardN++
+		} else {
+			softBits += bits
+			softN++
+		}
+	}
+	sp := Spread{SoftSets: len(softSets), HardSets: len(hardSets)}
+	if sp.SoftSets > 0 {
+		sp.MorePct = float64(sp.HardSets-sp.SoftSets) / float64(sp.SoftSets)
+	}
+	if softN > 0 {
+		sp.SoftAvgSCs = softBits / softN
+	}
+	if hardN > 0 {
+		sp.HardAvgSCs = hardBits / hardN
+	}
+	return sp
+}
+
+// Print renders the spread statistic.
+func (sp Spread) Print(w io.Writer) {
+	fmt.Fprintln(w, "Section III-B — diverged-SC-set spread, same-flop populations")
+	fmt.Fprintf(w, "  distinct sets: soft %d, hard %d -> hard has %.0f%% more (paper: 54%% more)\n",
+		sp.SoftSets, sp.HardSets, 100*sp.MorePct)
+	fmt.Fprintf(w, "  avg diverged SCs at detection: soft %.2f, hard %.2f\n",
+		sp.SoftAvgSCs, sp.HardAvgSCs)
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}
+
+// --------------------------------------------- dynamic predictor ablation
+
+// Ablation compares the static predictor against the Section VII dynamic
+// (history-accumulating) predictor on the same error stream.
+type Ablation struct {
+	StaticLERT  float64
+	DynamicLERT float64
+	Errors      int
+}
+
+// AblationDynamic streams fold-0's test errors (shuffled) through both
+// predictors. The dynamic predictor starts empty and learns from each
+// diagnosed error; the static one is trained offline on the train split.
+func (c *Context) AblationDynamic() Ablation {
+	f := c.folds[0]
+	cfg := sbist.NewConfig(core.Coarse7, c.restartMap, sbist.OffChipTableAccess)
+	static := sbist.PredComb{Cfg: cfg, Table: core.Train(f.Train, core.Coarse7, 0)}
+	dynamic := sbist.PredDynamic{Cfg: cfg, Dyn: core.NewDynamic(core.Coarse7)}
+
+	var recs []dataset.Record
+	for _, r := range f.Test.Records {
+		if r.Detected {
+			recs = append(recs, r)
+		}
+	}
+	rng := rand.New(rand.NewSource(c.Scale.Seed + 999))
+	rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+
+	var statSum, dynSum float64
+	for _, r := range recs {
+		statSum += float64(static.React(r, rng).Cycles)
+		dynSum += float64(dynamic.React(r, rng).Cycles)
+	}
+	n := float64(len(recs))
+	a := Ablation{Errors: len(recs)}
+	if n > 0 {
+		a.StaticLERT = statSum / n
+		a.DynamicLERT = dynSum / n
+	}
+	return a
+}
+
+// Print renders the ablation.
+func (a Ablation) Print(w io.Writer) {
+	fmt.Fprintln(w, "Section VII ablation — static vs dynamic (history-learned) predictor")
+	fmt.Fprintf(w, "  static pred-comb LERT:  %.0f cyc over %d errors\n", a.StaticLERT, a.Errors)
+	fmt.Fprintf(w, "  dynamic pred-comb LERT: %.0f cyc (starts untrained, learns online)\n", a.DynamicLERT)
+	if a.DynamicLERT > a.StaticLERT {
+		fmt.Fprintf(w, "  static wins by %.1f%% — errors are too rare to amortise online learning, as Section VII argues\n",
+			100*(a.DynamicLERT/a.StaticLERT-1))
+	}
+}
+
+// -------------------------------------------- stop-window sensitivity
+
+// WindowSweep is the sensitivity ablation for the checker stop latency:
+// how the number of cycles the DSR accumulates after first divergence
+// affects the diverged-SC-set vocabulary and the error-type prediction
+// accuracy. It is the quantitative defence of modelling decision 5 in
+// DESIGN.md: with a 1-cycle window, soft and hard first-divergence
+// signatures are nearly identical and type prediction collapses.
+type WindowSweep struct {
+	Windows      []int
+	DistinctSets []int
+	AvgSetSize   []float64
+	SoftAcc      []float64
+	HardAcc      []float64
+	OverallAcc   []float64
+}
+
+// SweepStopWindow re-runs a reduced campaign at several stop-window
+// lengths. It deliberately uses a thinner flop stride than the context's
+// campaign so the whole sweep stays fast.
+func (c *Context) SweepStopWindow(windows []int) (WindowSweep, error) {
+	if len(windows) == 0 {
+		windows = []int{1, 2, 4, 8, 12, 16}
+	}
+	sw := WindowSweep{Windows: windows}
+	cfg := c.Scale.Config()
+	cfg.FlopStride *= 4
+	if len(cfg.Kernels) == 0 {
+		cfg.Kernels = []string{"ttsprk", "rspeed", "matrix"}
+	}
+	if len(cfg.Kernels) > 3 {
+		cfg.Kernels = cfg.Kernels[:3]
+	}
+	for _, w := range windows {
+		wcfg := cfg
+		wcfg.StopLatency = w
+		ds, err := inject.Run(wcfg)
+		if err != nil {
+			return sw, err
+		}
+		rng := rand.New(rand.NewSource(c.Scale.Seed + int64(w)))
+		train, test := ds.Split(rng, 0.8)
+		table := core.Train(train, core.Coarse7, 0)
+		soft, hard, overall := table.TypeAccuracy(test.Balanced(rng))
+		var bits, n float64
+		for _, r := range ds.Records {
+			if r.Detected {
+				bits += float64(popcount(r.DSR))
+				n++
+			}
+		}
+		sw.DistinctSets = append(sw.DistinctSets, ds.DistinctDSRs())
+		if n > 0 {
+			sw.AvgSetSize = append(sw.AvgSetSize, bits/n)
+		} else {
+			sw.AvgSetSize = append(sw.AvgSetSize, 0)
+		}
+		sw.SoftAcc = append(sw.SoftAcc, soft)
+		sw.HardAcc = append(sw.HardAcc, hard)
+		sw.OverallAcc = append(sw.OverallAcc, overall)
+	}
+	return sw, nil
+}
+
+// Print renders the stop-window sensitivity series.
+func (sw WindowSweep) Print(w io.Writer) {
+	fmt.Fprintln(w, "Stop-window sensitivity — DSR accumulation cycles after first divergence")
+	fmt.Fprintf(w, "  %-8s %12s %12s %10s %10s %10s\n",
+		"window", "distinct", "avg SCs", "soft acc", "hard acc", "overall")
+	for i, win := range sw.Windows {
+		fmt.Fprintf(w, "  %-8d %12d %12.2f %9.1f%% %9.1f%% %9.1f%%\n",
+			win, sw.DistinctSets[i], sw.AvgSetSize[i],
+			100*sw.SoftAcc[i], 100*sw.HardAcc[i], 100*sw.OverallAcc[i])
+	}
+	fmt.Fprintln(w, "  (the production configuration uses window 12; window 1 shows why")
+	fmt.Fprintln(w, "   accumulation is needed for type separability)")
+}
+
+// ------------------------------------------------------------- summary
+
+// Claim is one shape claim's live verdict.
+type Claim struct {
+	Name     string
+	Paper    string
+	Measured string
+	Holds    bool
+}
+
+// Summary evaluates the paper's headline shape claims against this
+// campaign — the live version of EXPERIMENTS.md's verdict table.
+func (c *Context) Summary() []Claim {
+	var out []Claim
+	add := func(name, paper, measured string, holds bool) {
+		out = append(out, Claim{Name: name, Paper: paper, Measured: measured, Holds: holds})
+	}
+
+	t1 := c.Table1()
+	add("hard faults manifest more often than soft",
+		"40% vs 5% (mean)",
+		fmt.Sprintf("%.1f%% vs %.1f%%", 100*t1.HardRate.Mean, 100*t1.SoftRate.Mean),
+		t1.HardRate.Mean > t1.SoftRate.Mean)
+	add("hard errors manifest later than soft",
+		"1800 vs 700 cyc",
+		fmt.Sprintf("%.0f vs %.0f cyc", t1.HardTime.Mean, t1.SoftTime.Mean),
+		t1.HardTime.Mean > t1.SoftTime.Mean)
+
+	hardBC := c.FigUnitBC(true)
+	softBC := c.FigUnitBC(false)
+	add("unit signatures distinguishable (BC ≪ 1)",
+		"0.39 hard / 0.32 soft",
+		fmt.Sprintf("%.2f / %.2f", hardBC.AvgBC, softBC.AvgBC),
+		hardBC.AvgBC < 0.9 && softBC.AvgBC < 0.9)
+
+	t3 := c.Table3()
+	add("error type predictable from the DSR",
+		"overall 67%",
+		fmt.Sprintf("overall %.1f%%", 100*t3.Overall),
+		t3.Overall > 0.55)
+
+	mc7 := c.Compare(core.Coarse7, sbist.OnChipTableAccess)
+	ordered := mc7.Rows[4].MeanLERT < mc7.Rows[3].MeanLERT &&
+		mc7.Rows[4].MeanLERT < mc7.Rows[2].MeanLERT &&
+		mc7.Rows[4].MeanLERT < mc7.Rows[1].MeanLERT &&
+		mc7.Rows[4].MeanLERT < mc7.Rows[0].MeanLERT
+	add("pred-comb beats every baseline and location-only",
+		"Fig. 11 ordering",
+		fmt.Sprintf("comb %.0f < loc %.0f < baselines", mc7.Rows[4].MeanLERT, mc7.Rows[3].MeanLERT),
+		ordered)
+	mc13 := c.Compare(core.Fine13, sbist.OnChipTableAccess)
+	add("availability gain in the 42-65% band",
+		"42-65% depending on granularity",
+		fmt.Sprintf("%.0f%%-%.0f%%", 100*mc7.CombVsManifest, 100*mc13.CombVsAscending),
+		mc13.CombVsAscending > 0.35)
+	add("finer granularity improves pred-comb",
+		"Fig. 14 vs Fig. 11",
+		fmt.Sprintf("%.0f -> %.0f cyc", mc7.Rows[4].MeanLERT, mc13.Rows[4].MeanLERT),
+		mc13.Rows[4].MeanLERT < mc7.Rows[4].MeanLERT)
+
+	oo := c.OnOffChipAnalysis()
+	ovh := oo.CombOff/oo.CombOn - 1
+	add("off-chip table costs ~nothing",
+		"0.05%",
+		fmt.Sprintf("%.3f%%", 100*ovh),
+		ovh < 0.01)
+
+	sw7 := c.SweepTopK(core.Coarse7)
+	add("few predicted units suffice (coarse)",
+		"95% accuracy by K=3",
+		fmt.Sprintf("%.0f%% at K=3", 100*sw7.Accuracy[2]),
+		sw7.Accuracy[2] > 0.85)
+
+	sp := c.SpreadAnalysis()
+	add("hard errors spread over more SC sets",
+		"+54%",
+		fmt.Sprintf("%+.0f%%", 100*sp.MorePct),
+		sp.MorePct > 0)
+
+	t4 := c.Table4()
+	add("predictor hardware tiny at CPU scale",
+		"<2% of dual-R5",
+		fmt.Sprintf("%.1f%% at R5 scale", 100*t4.VsR5DMR.Area),
+		t4.VsR5DMR.Area < 0.02)
+
+	ab := c.AblationDynamic()
+	add("static predictor suffices (SVII)",
+		"argued",
+		fmt.Sprintf("static %.0f vs dynamic %.0f cyc", ab.StaticLERT, ab.DynamicLERT),
+		ab.StaticLERT <= ab.DynamicLERT)
+	return out
+}
+
+// PrintSummary renders the verdict table.
+func PrintSummary(w io.Writer, claims []Claim) {
+	fmt.Fprintln(w, "Shape-claim summary — paper vs this campaign")
+	holds := 0
+	for _, cl := range claims {
+		verdict := "HOLDS"
+		if !cl.Holds {
+			verdict = "DIFFERS"
+		} else {
+			holds++
+		}
+		fmt.Fprintf(w, "  %-7s %-48s paper: %-28s measured: %s\n",
+			verdict, cl.Name, cl.Paper, cl.Measured)
+	}
+	fmt.Fprintf(w, "  %d/%d claims hold\n", holds, len(claims))
+}

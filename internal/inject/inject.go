@@ -1,0 +1,177 @@
+// Package inject drives fault-injection campaigns following the paper's
+// Section IV-A methodology: every flip-flop of the CPU receives transient
+// (soft), stuck-at-0 and stuck-at-1 faults at randomly chosen points in
+// equally sized intervals of each benchmark's run, one single fault per
+// experiment, and the lockstep checker's view of each experiment is logged.
+//
+// The paper injected 10 million faults over two weeks on a server cluster;
+// campaign size here is a Config knob with the same structure (full flop
+// coverage x 3 fault kinds x intervals x benchmarks) so the methodology is
+// identical and only the sample count scales.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/workload"
+)
+
+// Config sizes a campaign.
+type Config struct {
+	// Kernels selects benchmark kernels by name; empty means the full
+	// suite.
+	Kernels []string
+	// RunCycles is the fault-free horizon of each kernel's golden run;
+	// injections happen anywhere in it and manifestation is observed until
+	// its end (the benchmark "runs to completion").
+	RunCycles int
+	// Intervals divides the run into equally sized injection intervals
+	// (the paper uses 64).
+	Intervals int
+	// InjectionsPerFlopKind is how many experiments each (flop, kind) pair
+	// receives per kernel, each in a distinct randomly chosen interval.
+	InjectionsPerFlopKind int
+	// FlopStride samples every Nth flop (1 = every flip-flop).
+	FlopStride int
+	// Kinds selects fault kinds; empty means soft + stuck-at-0 + stuck-at-1.
+	Kinds []lockstep.FaultKind
+	// StopLatency overrides the checker stop window (cycles of DSR
+	// accumulation after first divergence); 0 uses lockstep.StopLatency.
+	StopLatency int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Progress, if non-nil, receives (done, total) experiment counts.
+	Progress func(done, total int)
+}
+
+// DefaultConfig is a laptop-scale campaign: full flop coverage, all three
+// fault kinds, two intervals per (flop, kind) on every kernel.
+func DefaultConfig() Config {
+	return Config{
+		RunCycles:             12000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 2,
+		FlopStride:            1,
+		Seed:                  1,
+	}
+}
+
+func (c *Config) normalize() error {
+	if c.RunCycles <= 0 {
+		c.RunCycles = 12000
+	}
+	if c.Intervals <= 0 {
+		c.Intervals = 64
+	}
+	if c.InjectionsPerFlopKind <= 0 {
+		c.InjectionsPerFlopKind = 1
+	}
+	if c.FlopStride <= 0 {
+		c.FlopStride = 1
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip, lockstep.Stuck0, lockstep.Stuck1}
+	}
+	if len(c.Kernels) == 0 {
+		for _, k := range workload.Kernels() {
+			c.Kernels = append(c.Kernels, k.Name)
+		}
+	}
+	for _, name := range c.Kernels {
+		if workload.ByName(name) == nil {
+			return fmt.Errorf("inject: unknown kernel %q", name)
+		}
+	}
+	return nil
+}
+
+// Total returns the number of experiments the config will run.
+func (c Config) Total() int {
+	if err := c.normalize(); err != nil {
+		return 0
+	}
+	flops := (cpu.NumFlops() + c.FlopStride - 1) / c.FlopStride
+	return len(c.Kernels) * flops * len(c.Kinds) * c.InjectionsPerFlopKind
+}
+
+// Run executes the campaign and returns the full experiment log.
+func Run(cfg Config) (*dataset.Dataset, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	total := cfg.Total()
+	done := 0
+	ds := &dataset.Dataset{Records: make([]dataset.Record, 0, total)}
+
+	intervalLen := cfg.RunCycles / cfg.Intervals
+	if intervalLen < 1 {
+		intervalLen = 1
+	}
+	snapEvery := cfg.RunCycles / 16
+	if snapEvery < 1 {
+		snapEvery = 1
+	}
+
+	for _, name := range cfg.Kernels {
+		k := workload.ByName(name)
+		g, err := lockstep.NewGolden(k, cfg.RunCycles, snapEvery)
+		if err != nil {
+			return nil, err
+		}
+		for flop := 0; flop < cpu.NumFlops(); flop += cfg.FlopStride {
+			for _, kind := range cfg.Kinds {
+				// A per-(kernel, flop, kind) RNG keeps each experiment's
+				// injection points independent of campaign iteration order.
+				rng := rand.New(rand.NewSource(mix(cfg.Seed, name, flop, int(kind))))
+				intervals := rng.Perm(cfg.Intervals)
+				for n := 0; n < cfg.InjectionsPerFlopKind; n++ {
+					iv := intervals[n%cfg.Intervals]
+					cycle := iv*intervalLen + rng.Intn(intervalLen)
+					if cycle >= cfg.RunCycles {
+						cycle = cfg.RunCycles - 1
+					}
+					inj := lockstep.Injection{Flop: flop, Kind: kind, Cycle: cycle}
+					window := cfg.StopLatency
+					if window <= 0 {
+						window = lockstep.StopLatency
+					}
+					out := g.InjectW(inj, window)
+					ds.Records = append(ds.Records, dataset.Record{
+						Kernel:      name,
+						Flop:        flop,
+						Unit:        cpu.FlopUnit(flop),
+						Fine:        cpu.FlopFine(flop),
+						Kind:        kind,
+						InjectCycle: cycle,
+						Detected:    out.Detected,
+						DetectCycle: out.DetectCycle,
+						DSR:         out.DSR,
+						Converged:   out.Converged,
+					})
+					done++
+					if cfg.Progress != nil {
+						cfg.Progress(done, total)
+					}
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+// mix derives a stable 64-bit seed from the campaign seed and experiment
+// coordinates (FNV-style).
+func mix(seed int64, kernel string, flop, kind int) int64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3
+	for _, b := range []byte(kernel) {
+		h = (h ^ uint64(b)) * 0x100000001B3
+	}
+	h = (h ^ uint64(flop)) * 0x100000001B3
+	h = (h ^ uint64(kind)) * 0x100000001B3
+	h ^= h >> 29
+	return int64(h)
+}

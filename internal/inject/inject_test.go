@@ -1,0 +1,168 @@
+package inject
+
+import (
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+func smallConfig() Config {
+	return Config{
+		Kernels:               []string{"ttsprk", "puwmod"},
+		RunCycles:             6000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            16,
+		Seed:                  7,
+	}
+}
+
+func TestCampaignShape(t *testing.T) {
+	cfg := smallConfig()
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != cfg.Total() {
+		t.Fatalf("got %d records, config promised %d", ds.Len(), cfg.Total())
+	}
+	man := ds.Manifested()
+	if man.Len() == 0 {
+		t.Fatal("campaign produced no manifested errors")
+	}
+	rate := float64(man.Len()) / float64(ds.Len())
+	t.Logf("experiments=%d manifested=%d (%.1f%%) distinctDSRs=%d",
+		ds.Len(), man.Len(), 100*rate, ds.DistinctDSRs())
+	if rate <= 0.01 || rate >= 0.95 {
+		t.Errorf("implausible overall manifestation rate %.2f", rate)
+	}
+	// Every record self-consistent.
+	for _, r := range man.Records {
+		if r.DSR == 0 {
+			t.Fatal("manifested record with empty DSR")
+		}
+		if r.DetectCycle < r.InjectCycle {
+			t.Fatal("detection before injection")
+		}
+		if r.Unit != cpu.FlopUnit(r.Flop) || r.Fine != cpu.FlopFine(r.Flop) {
+			t.Fatal("unit tags inconsistent with flop registry")
+		}
+		if r.Fine.Coarse() != r.Unit {
+			t.Fatal("fine unit does not map to coarse unit")
+		}
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Kernels = []string{"rspeed"}
+	cfg.FlopStride = 64
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestHardRateExceedsSoftRate(t *testing.T) {
+	ds, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var softInj, softMan, hardInj, hardMan int
+	for _, r := range ds.Records {
+		if r.Hard() {
+			hardInj++
+			if r.Detected {
+				hardMan++
+			}
+		} else {
+			softInj++
+			if r.Detected {
+				softMan++
+			}
+		}
+	}
+	soft := float64(softMan) / float64(softInj)
+	hard := float64(hardMan) / float64(hardInj)
+	t.Logf("manifestation rates: soft=%.1f%% hard=%.1f%%", 100*soft, 100*hard)
+	if hard <= soft {
+		t.Errorf("hard rate (%.2f) should exceed soft rate (%.2f), as in Table I", hard, soft)
+	}
+}
+
+func TestAllUnitsReceiveInjections(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Kernels = []string{"ttsprk"}
+	cfg.FlopStride = 1
+	cfg.Kinds = []lockstep.FaultKind{lockstep.Stuck1}
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ds.ByUnit(true)
+	for u := 0; u < units.NumUnits; u++ {
+		if stats[u].Injected == 0 {
+			t.Errorf("unit %v received no injections", units.Unit(u))
+		}
+	}
+	fine := ds.ByFine(true)
+	for f := 0; f < units.NumFine; f++ {
+		if fine[f].Injected == 0 {
+			t.Errorf("fine unit %v received no injections", units.Fine(f))
+		}
+	}
+}
+
+func TestUnknownKernelRejected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Kernels = []string{"nosuch"}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+// TestFullFlopCoverage: a stride-1 campaign injects every flip-flop of the
+// CPU — the paper's "faults must be injected to every flip-flop" claim.
+func TestFullFlopCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	ds, err := Run(Config{
+		Kernels:               []string{"puwmod"},
+		RunCycles:             4000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            1,
+		Kinds:                 []lockstep.FaultKind{lockstep.Stuck1},
+		Seed:                  9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make([]bool, cpu.NumFlops())
+	for _, r := range ds.Records {
+		covered[r.Flop] = true
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("flop %d (%s) never injected", i, cpu.FlopName(i))
+		}
+	}
+	if ds.Len() != cpu.NumFlops() {
+		t.Fatalf("campaign size %d != flop count %d", ds.Len(), cpu.NumFlops())
+	}
+}

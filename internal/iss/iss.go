@@ -1,0 +1,308 @@
+// Package iss is a functional (instruction-level) SR32 simulator. It defines
+// the architectural semantics the pipelined SR5 CPU model must match and is
+// used as the reference in differential tests, as the engine behind the
+// sr5-run tool, and for quick workload validation.
+package iss
+
+import (
+	"fmt"
+
+	"lockstep/internal/isa"
+	"lockstep/internal/mem"
+)
+
+// Machine is the architectural state of an SR32 hart.
+type Machine struct {
+	Regs    [isa.NumRegs]uint32
+	PC      uint32
+	Bus     mem.Bus
+	Halted  bool
+	Instret uint64 // retired instruction count
+
+	// MPU mirrors the SR5's system-register file (see cpu.State).
+	MPUBase  [cpuMPURegions]uint32
+	MPULimit [cpuMPURegions]uint32
+	MPUAttr  [cpuMPURegions]uint8
+}
+
+// Constants mirroring the cpu package's system-register window; duplicated
+// here so the architectural simulator stays independent of the
+// microarchitectural model (a registry test cross-checks them).
+const (
+	cpuMPURegions = 8
+	mmioBase      = 0x000F0000
+	mmioEnd       = mmioBase + cpuMPURegions*16
+)
+
+func (m *Machine) mpuAllows(addr uint32, write bool) bool {
+	any := false
+	for i := 0; i < cpuMPURegions; i++ {
+		attr := m.MPUAttr[i]
+		if attr&1 == 0 {
+			continue
+		}
+		any = true
+		if addr >= m.MPUBase[i] && addr <= m.MPULimit[i] && (!write || attr&2 != 0) {
+			return true
+		}
+	}
+	return !any
+}
+
+func (m *Machine) mpuRead(addr uint32) uint32 {
+	off := addr - mmioBase
+	i := off / 16
+	switch off % 16 {
+	case 0:
+		return m.MPUBase[i]
+	case 4:
+		return m.MPULimit[i]
+	case 8:
+		return uint32(m.MPUAttr[i] & 3)
+	}
+	return 0
+}
+
+func (m *Machine) mpuWrite(addr, data, mask uint32) {
+	off := addr - mmioBase
+	i := off / 16
+	switch off % 16 {
+	case 0:
+		m.MPUBase[i] = m.MPUBase[i]&^mask | data&mask
+	case 4:
+		m.MPULimit[i] = m.MPULimit[i]&^mask | data&mask
+	case 8:
+		m.MPUAttr[i] = uint8((uint32(m.MPUAttr[i])&^mask | data&mask) & 3)
+	}
+}
+
+// New returns a machine reset to entry, executing against bus.
+func New(bus mem.Bus, entry uint32) *Machine {
+	return &Machine{Bus: bus, PC: entry}
+}
+
+// Step executes one instruction. It returns an error for conditions that
+// trap the pipelined CPU (illegal opcode, misaligned or out-of-range
+// access, bad fetch address), leaving the machine halted.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	if m.PC&3 != 0 || m.PC >= mem.RAMBytes {
+		m.Halted = true
+		return fmt.Errorf("iss: bad fetch address 0x%x", m.PC)
+	}
+	in := isa.Decode(m.Bus.ReadWord(m.PC))
+	if in.Op == isa.OpInvalid {
+		m.Halted = true
+		return fmt.Errorf("iss: illegal instruction at 0x%x", m.PC)
+	}
+	next := m.PC + 4
+	a := m.reg(in.Rs1)
+	b := m.reg(in.Rs2)
+	imm := uint32(in.Imm)
+
+	switch in.Op {
+	case isa.OpADD:
+		m.set(in.Rd, a+b)
+	case isa.OpSUB:
+		m.set(in.Rd, a-b)
+	case isa.OpAND:
+		m.set(in.Rd, a&b)
+	case isa.OpOR:
+		m.set(in.Rd, a|b)
+	case isa.OpXOR:
+		m.set(in.Rd, a^b)
+	case isa.OpSLL:
+		m.set(in.Rd, a<<(b&31))
+	case isa.OpSRL:
+		m.set(in.Rd, a>>(b&31))
+	case isa.OpSRA:
+		m.set(in.Rd, uint32(int32(a)>>(b&31)))
+	case isa.OpSLT:
+		m.set(in.Rd, lt(int32(a) < int32(b)))
+	case isa.OpSLTU:
+		m.set(in.Rd, lt(a < b))
+	case isa.OpMUL:
+		m.set(in.Rd, uint32(int64(int32(a))*int64(int32(b))))
+	case isa.OpMULH:
+		m.set(in.Rd, uint32(uint64(int64(int32(a))*int64(int32(b)))>>32))
+	case isa.OpDIV:
+		m.set(in.Rd, div(a, b))
+	case isa.OpREM:
+		m.set(in.Rd, rem(a, b))
+	case isa.OpADDI:
+		m.set(in.Rd, a+imm)
+	case isa.OpANDI:
+		m.set(in.Rd, a&imm)
+	case isa.OpORI:
+		m.set(in.Rd, a|imm)
+	case isa.OpXORI:
+		m.set(in.Rd, a^imm)
+	case isa.OpSLTI:
+		m.set(in.Rd, lt(int32(a) < in.Imm))
+	case isa.OpSLLI:
+		m.set(in.Rd, a<<(imm&31))
+	case isa.OpSRLI:
+		m.set(in.Rd, a>>(imm&31))
+	case isa.OpSRAI:
+		m.set(in.Rd, uint32(int32(a)>>(imm&31)))
+	case isa.OpLUI:
+		m.set(in.Rd, imm)
+	case isa.OpLW, isa.OpLH, isa.OpLHU, isa.OpLB, isa.OpLBU:
+		v, err := m.load(in.Op, a+imm)
+		if err != nil {
+			return err
+		}
+		m.set(in.Rd, v)
+	case isa.OpSW, isa.OpSH, isa.OpSB:
+		if err := m.store(in.Op, a+imm, b); err != nil {
+			return err
+		}
+	case isa.OpBEQ:
+		next = m.branch(a == b, next, in.Imm)
+	case isa.OpBNE:
+		next = m.branch(a != b, next, in.Imm)
+	case isa.OpBLT:
+		next = m.branch(int32(a) < int32(b), next, in.Imm)
+	case isa.OpBGE:
+		next = m.branch(int32(a) >= int32(b), next, in.Imm)
+	case isa.OpBLTU:
+		next = m.branch(a < b, next, in.Imm)
+	case isa.OpBGEU:
+		next = m.branch(a >= b, next, in.Imm)
+	case isa.OpJAL:
+		m.set(in.Rd, next)
+		next = uint32(int64(next) + int64(in.Imm)*4)
+	case isa.OpJALR:
+		m.set(in.Rd, next)
+		next = (a + imm) &^ 3
+	case isa.OpRDCYC:
+		// The ISS has no cycle counter; expose instruction count, which is
+		// deterministic at this abstraction. Differential tests avoid RDCYC.
+		m.set(in.Rd, uint32(m.Instret))
+	case isa.OpHALT:
+		m.Halted = true
+	}
+	m.PC = next &^ 3
+	m.Instret++
+	return nil
+}
+
+// Run executes up to maxInstrs instructions, stopping at HALT or on a trap.
+func (m *Machine) Run(maxInstrs int) (int, error) {
+	for i := 0; i < maxInstrs; i++ {
+		if m.Halted {
+			return i, nil
+		}
+		if err := m.Step(); err != nil {
+			return i, err
+		}
+	}
+	return maxInstrs, nil
+}
+
+func (m *Machine) reg(r uint8) uint32 {
+	if r&0xF == 0 {
+		return 0
+	}
+	return m.Regs[r&0xF]
+}
+
+func (m *Machine) set(r uint8, v uint32) {
+	if r&0xF != 0 {
+		m.Regs[r&0xF] = v
+	}
+}
+
+func (m *Machine) branch(taken bool, next uint32, imm int32) uint32 {
+	if taken {
+		return uint32(int64(next) + int64(imm)*4)
+	}
+	return next
+}
+
+func (m *Machine) load(op isa.Op, addr uint32) (uint32, error) {
+	size := isa.MemBytes(op)
+	if size > 1 && addr&(size-1) != 0 {
+		m.Halted = true
+		return 0, fmt.Errorf("iss: misaligned %s at 0x%x", op, addr)
+	}
+	var w uint32
+	switch {
+	case addr >= mmioBase && addr < mmioEnd:
+		w = m.mpuRead(addr &^ 3)
+	case !m.mpuAllows(addr, false):
+		m.Halted = true
+		return 0, fmt.Errorf("iss: MPU denied load at 0x%x", addr)
+	case addr < mem.ExtBase && addr >= mem.RAMBytes:
+		m.Halted = true
+		return 0, fmt.Errorf("iss: bus fault load at 0x%x", addr)
+	default:
+		w = m.Bus.ReadWord(addr &^ 3)
+	}
+	v := w >> (8 * (addr & 3))
+	switch op {
+	case isa.OpLB:
+		return uint32(int32(int8(v))), nil
+	case isa.OpLBU:
+		return v & 0xFF, nil
+	case isa.OpLH:
+		return uint32(int32(int16(v))), nil
+	case isa.OpLHU:
+		return v & 0xFFFF, nil
+	default:
+		return v, nil
+	}
+}
+
+func (m *Machine) store(op isa.Op, addr, v uint32) error {
+	size := isa.MemBytes(op)
+	if size > 1 && addr&(size-1) != 0 {
+		m.Halted = true
+		return fmt.Errorf("iss: misaligned %s at 0x%x", op, addr)
+	}
+	off := addr & 3
+	be := ((1 << size) - 1) << off
+	mask := mem.ByteLaneMask(uint32(be))
+	switch {
+	case addr >= mmioBase && addr < mmioEnd:
+		m.mpuWrite(addr&^3, v<<(8*off), mask)
+	case !m.mpuAllows(addr, true):
+		m.Halted = true
+		return fmt.Errorf("iss: MPU denied store at 0x%x", addr)
+	case addr < mem.ExtBase && addr >= mem.RAMBytes:
+		m.Halted = true
+		return fmt.Errorf("iss: bus fault store at 0x%x", addr)
+	default:
+		m.Bus.WriteMasked(addr&^3, v<<(8*off), mask)
+	}
+	return nil
+}
+
+func lt(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func div(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xFFFF_FFFF
+	}
+	if a == 0x8000_0000 && b == 0xFFFF_FFFF {
+		return 0x8000_0000
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+func rem(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	if a == 0x8000_0000 && b == 0xFFFF_FFFF {
+		return 0
+	}
+	return uint32(int32(a) % int32(b))
+}

@@ -1,0 +1,284 @@
+package iss
+
+import (
+	"strings"
+	"testing"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+func runISS(t *testing.T, src string, maxInstrs int) (*Machine, *mem.System) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	if _, err := m.Run(maxInstrs); err != nil {
+		t.Fatalf("trap: %v", err)
+	}
+	return m, sys
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	m, _ := runISS(t, `
+        li   r1, 6
+        li   r2, 7
+        mul  r3, r1, r2
+        sub  r4, r3, r1
+        sltu r5, r1, r2
+        halt
+`, 100)
+	if m.Regs[3] != 42 || m.Regs[4] != 36 || m.Regs[5] != 1 {
+		t.Fatalf("regs: %v", m.Regs[:6])
+	}
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+}
+
+func TestR0Immutable(t *testing.T) {
+	m, _ := runISS(t, `
+        addi r0, r0, 99
+        add  r1, r0, r0
+        halt
+`, 10)
+	if m.Regs[0] != 0 || m.Regs[1] != 0 {
+		t.Fatal("R0 written")
+	}
+}
+
+func TestRDCYCExposesInstret(t *testing.T) {
+	m, _ := runISS(t, `
+        nop
+        nop
+        rdcyc r1
+        halt
+`, 10)
+	if m.Regs[1] != 2 {
+		t.Fatalf("rdcyc = %d, want instret 2", m.Regs[1])
+	}
+}
+
+func TestTrapIllegal(t *testing.T) {
+	prog := &asm.Program{Words: []uint32{0xFFFFFFFF}}
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, 0)
+	if err := m.Step(); err == nil || !strings.Contains(err.Error(), "illegal") {
+		t.Fatalf("want illegal trap, got %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("not halted after trap")
+	}
+}
+
+func TestTrapMisaligned(t *testing.T) {
+	prog := asm.MustAssemble("        li r1, 0x8002\n        lw r2, 0(r1)\n")
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	_, err := m.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("want misaligned trap, got %v", err)
+	}
+}
+
+func TestTrapBadFetch(t *testing.T) {
+	prog := asm.MustAssemble("        li r1, 0x300000\n        jalr r0, r1, 0\n")
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	_, err := m.Run(10)
+	if err == nil || !strings.Contains(err.Error(), "fetch") {
+		t.Fatalf("want fetch trap, got %v", err)
+	}
+}
+
+func TestMPUProgrammingAndEnforcement(t *testing.T) {
+	// Enable a region covering only 0x8000..0x8FFF; access outside traps.
+	src := `
+        .equ WIN, 0xF0000
+        li   r1, WIN
+        li   r2, 0x8000
+        sw   r2, 0(r1)
+        li   r2, 0x8FFF
+        sw   r2, 4(r1)
+        li   r2, 3
+        sw   r2, 8(r1)
+        li   r3, 0x8100
+        li   r4, 77
+        sw   r4, 0(r3)       ; allowed
+        lw   r5, 0(r3)       ; allowed
+        lw   r6, 8(r1)       ; system window always readable
+        li   r3, 0x9000
+        lw   r7, 0(r3)       ; denied -> trap
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	_, err := m.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "MPU") {
+		t.Fatalf("want MPU trap, got %v", err)
+	}
+	if m.Regs[5] != 77 {
+		t.Fatalf("allowed access failed: r5=%d", m.Regs[5])
+	}
+	if m.Regs[6] != 3 {
+		t.Fatalf("MPU attr readback = %d, want 3", m.Regs[6])
+	}
+}
+
+func TestMPUWriteProtection(t *testing.T) {
+	src := `
+        .equ WIN, 0xF0000
+        li   r1, WIN
+        sw   r0, 0(r1)         ; base 0
+        li   r2, 0x3FFFF
+        sw   r2, 4(r1)
+        li   r2, 1             ; enabled, read-only
+        sw   r2, 8(r1)
+        lw   r3, 0x8000(r0)    ; read ok
+        sw   r3, 0x8000(r0)    ; write denied
+        halt
+`
+	prog := asm.MustAssemble(src)
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	_, err := m.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "MPU denied store") {
+		t.Fatalf("want MPU store trap, got %v", err)
+	}
+}
+
+// TestMPUMirrorsCPUConstants guards the duplicated window constants
+// against drift from the cpu package.
+func TestMPUMirrorsCPUConstants(t *testing.T) {
+	if cpuMPURegions != cpu.MPURegions {
+		t.Fatalf("MPU regions: iss %d vs cpu %d", cpuMPURegions, cpu.MPURegions)
+	}
+	if mmioBase != cpu.MMIOBase || mmioEnd != cpu.MMIOEnd {
+		t.Fatalf("MMIO window: iss [%#x,%#x) vs cpu [%#x,%#x)",
+			mmioBase, mmioEnd, cpu.MMIOBase, cpu.MMIOEnd)
+	}
+}
+
+func TestPeripheralAccess(t *testing.T) {
+	m, sys := runISS(t, `
+        li r1, 0x80000000
+        lw r2, 0(r1)
+        sw r2, 4(r1)
+        halt
+`, 20)
+	if m.Regs[2] != mem.SensorValue(0x80000000) {
+		t.Fatal("sensor value wrong")
+	}
+	if sys.Ext().Actuator[1] != m.Regs[2] {
+		t.Fatal("actuator write lost")
+	}
+}
+
+func TestRunStopsAtLimit(t *testing.T) {
+	prog := asm.MustAssemble("loop:   j loop\n")
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m := New(sys, prog.Entry)
+	n, err := m.Run(500)
+	if err != nil || n != 500 || m.Halted {
+		t.Fatalf("n=%d err=%v halted=%v", n, err, m.Halted)
+	}
+}
+
+// TestAllOpcodes executes every SR32 opcode at least once at the
+// architectural level, with checked results.
+func TestAllOpcodes(t *testing.T) {
+	m, sys := runISS(t, `
+        .equ BUF, 0x8000
+        li   r1, 12
+        li   r2, 5
+        add  r3, r1, r2      ; 17
+        sub  r3, r3, r2      ; 12
+        and  r4, r1, r2      ; 4
+        or   r4, r4, r2      ; 5
+        xor  r4, r4, r1      ; 9
+        sll  r5, r2, r2      ; 160
+        srl  r5, r5, r2      ; 5
+        li   r6, -32
+        sra  r6, r6, r2      ; -1
+        slt  r7, r6, r2      ; 1
+        sltu r8, r6, r2      ; 0 (0xFFFFFFFF > 5)
+        mul  r9, r1, r2      ; 60
+        mulh r10, r6, r6     ; high of 1 = 0
+        div  r11, r9, r2     ; 12
+        rem  r11, r9, r11    ; 0
+        addi r11, r11, 3     ; 3
+        andi r11, r11, 2     ; 2
+        ori  r11, r11, 1     ; 3
+        xori r11, r11, 2     ; 1
+        slti r12, r11, 2     ; 1
+        slli r12, r12, 4     ; 16
+        srli r12, r12, 2     ; 4
+        srai r12, r12, 1     ; 2
+        lui  r13, 0x12345000
+        li   r14, BUF
+        sw   r3, 0(r14)
+        lw   r3, 0(r14)
+        sh   r3, 4(r14)
+        lh   r5, 4(r14)
+        lhu  r5, 4(r14)
+        sb   r3, 8(r14)
+        lb   r6, 8(r14)
+        lbu  r6, 8(r14)
+        beq  r0, r0, b1
+        halt
+b1:     bne  r1, r2, b2
+        halt
+b2:     blt  r2, r1, b3
+        halt
+b3:     bge  r1, r2, b4
+        halt
+b4:     bltu r2, r1, b5
+        halt
+b5:     bgeu r1, r2, b6
+        halt
+b6:     jal  r15, b7
+dead:   halt
+b7:     rdcyc r10
+        jalr r0, r15, 12     ; r15 = dead; dead+12 is the final halt
+        halt
+`, 200)
+	_ = sys
+	if m.Regs[3] != 12 || m.Regs[4] != 9 || m.Regs[5] != 12 {
+		t.Fatalf("alu results: r3=%d r4=%d r5=%d", m.Regs[3], m.Regs[4], m.Regs[5])
+	}
+	if m.Regs[9] != 60 || m.Regs[11] != 1 || m.Regs[12] != 2 {
+		t.Fatalf("muldiv/imm: r9=%d r11=%d r12=%d", m.Regs[9], m.Regs[11], m.Regs[12])
+	}
+	if m.Regs[13] != 0x12345000&^0x3FF {
+		t.Fatalf("lui: %#x", m.Regs[13])
+	}
+	if !m.Halted {
+		t.Fatal("not halted")
+	}
+}

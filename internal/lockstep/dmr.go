@@ -1,0 +1,155 @@
+package lockstep
+
+import (
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+	"lockstep/internal/workload"
+)
+
+// DMR is a live dual-CPU lockstep processor: the main CPU drives the
+// memory system, the redundant CPU is compare-only, and the checker
+// compares the output ports every cycle, latching the Divergence Status
+// Register on the first error. It is the runtime counterpart of the
+// campaign-oriented Golden.Inject harness, for embedding in applications
+// (see examples/) and for driving the error-handling flow end to end:
+//
+//	dmr.Arm(...)                     // optional fault forcing
+//	dsr, cycle, ok := dmr.RunToError(limit)
+//	pred := frontend.LatchError(dsr) // core.Frontend + prediction table
+//	... SBIST / restart ...
+//	dmr.Restart()                    // soft recovery: reset & re-run
+type DMR struct {
+	Main  cpu.CPU
+	Red   cpu.CPU
+	Sys   *mem.System
+	Chk   Checker
+	Cycle int
+
+	entry   uint32
+	kernel  *workload.Kernel
+	fault   Injection
+	faultOn bool
+	softHot bool
+}
+
+// NewDMR builds a dual lockstep system running the kernel.
+func NewDMR(k *workload.Kernel) (*DMR, error) {
+	sys, entry, err := k.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	d := &DMR{Sys: sys, entry: entry, kernel: k}
+	d.Main = cpu.CPU{Bus: sys}
+	d.Main.State.Reset(entry)
+	d.Red = cpu.CPU{Bus: mem.Monitor{Sys: sys}}
+	d.Red.State.Reset(entry)
+	return d, nil
+}
+
+// Arm schedules fault forcing on the redundant CPU from inj.Cycle
+// (absolute cycle count) onward.
+func (d *DMR) Arm(inj Injection) {
+	d.fault = inj
+	d.faultOn = true
+	d.softHot = false
+}
+
+// Disarm cancels fault forcing (e.g., after a repaired transient).
+func (d *DMR) Disarm() {
+	d.faultOn = false
+	d.softHot = false
+}
+
+// Step advances both CPUs one cycle, applies any armed fault, and feeds
+// the checker. It returns true on the cycle the checker latches an error.
+func (d *DMR) Step() bool {
+	d.Cycle++
+	d.Main.StepCycle()
+	d.Red.StepCycle()
+	if d.faultOn && d.Cycle >= d.fault.Cycle {
+		st := &d.Red.State
+		switch d.fault.Kind {
+		case SoftFlip:
+			switch {
+			case d.Cycle == d.fault.Cycle:
+				cpu.FlipBit(st, d.fault.Flop)
+				d.softHot = true
+			case d.softHot:
+				// The transient passes; the flop recovers to the
+				// fault-free value.
+				cpu.ForceBit(st, d.fault.Flop, cpu.GetBit(&d.Main.State, d.fault.Flop))
+				d.softHot = false
+			}
+		case Stuck0:
+			cpu.ForceBit(st, d.fault.Flop, false)
+		case Stuck1:
+			cpu.ForceBit(st, d.fault.Flop, true)
+		}
+	}
+	om := d.Main.State.Outputs()
+	or := d.Red.State.Outputs()
+	return d.Chk.Compare(&om, &or)
+}
+
+// RunToError steps until the checker latches an error or limit cycles
+// elapse. On detection it keeps stepping for the checker's StopLatency,
+// OR-accumulating further diverged SCs into the returned map — exactly
+// what the Divergence Status Register holds when the error handler reads
+// it. Returns the accumulated DSR, the detection cycle and whether an
+// error occurred.
+func (d *DMR) RunToError(limit int) (dsr uint64, detectCycle int, ok bool) {
+	for i := 0; i < limit; i++ {
+		if d.Step() {
+			detectCycle = d.Cycle
+			dsr = d.Chk.DSR
+			for w := 1; w < StopLatency; w++ {
+				d.Cycle++
+				d.Main.StepCycle()
+				d.Red.StepCycle()
+				if d.faultOn {
+					switch d.fault.Kind {
+					case SoftFlip:
+						if d.softHot {
+							// The transient passes mid-window, exactly as
+							// in Step and the Inject harness.
+							cpu.ForceBit(&d.Red.State, d.fault.Flop,
+								cpu.GetBit(&d.Main.State, d.fault.Flop))
+							d.softHot = false
+						}
+					case Stuck0:
+						cpu.ForceBit(&d.Red.State, d.fault.Flop, false)
+					case Stuck1:
+						cpu.ForceBit(&d.Red.State, d.fault.Flop, true)
+					}
+				}
+				om := d.Main.State.Outputs()
+				or := d.Red.State.Outputs()
+				dsr |= cpu.Diverge(&om, &or)
+			}
+			d.Chk.DSR = dsr
+			return dsr, detectCycle, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Restart performs the soft-error recovery of Section II: both CPUs are
+// reset to the identical architectural reset state, memory is reloaded,
+// the checker is cleared, and the real-time task starts over. The
+// workload's measured restart latency is the reaction-time cost of this
+// operation.
+func (d *DMR) Restart() error {
+	d.Sys.Reset()
+	prog, err := d.kernel.Program()
+	if err != nil {
+		return err
+	}
+	if err := d.Sys.LoadProgram(prog); err != nil {
+		return err
+	}
+	d.Main.State.Reset(d.entry)
+	d.Red.State.Reset(d.entry)
+	d.Chk.Reset()
+	d.softHot = false
+	return nil
+}

@@ -1,0 +1,270 @@
+// Package lockstep implements CPU-level lockstepping (Figure 1c of the
+// paper): redundant SR5 CPUs execute the same program cycle-for-cycle, an
+// error checker compares their registered output ports every cycle, and a
+// per-signal-category OR-reduction captures the diverged-SC map into the
+// Divergence Status Register (DSR) at the moment an error is detected.
+//
+// The package also provides the fault-injection run harness used by the
+// campaign driver: a golden execution with periodic snapshots, and an
+// Inject operation that replays from the nearest snapshot, applies a
+// transient or stuck-at fault to one flip-flop of the redundant CPU, and
+// reports whether, when and how the fault manifested at the outputs.
+package lockstep
+
+import (
+	"fmt"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+	"lockstep/internal/workload"
+)
+
+// FaultKind is the class of injected fault.
+type FaultKind uint8
+
+// Fault kinds. A soft fault inverts a flip-flop for a single cycle; the
+// stuck-at kinds force the flop to a constant from the injection cycle to
+// the end of the run (Section IV-A).
+const (
+	SoftFlip FaultKind = iota
+	Stuck0
+	Stuck1
+	NumFaultKinds = 3
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case SoftFlip:
+		return "soft"
+	case Stuck0:
+		return "stuck-at-0"
+	case Stuck1:
+		return "stuck-at-1"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// IsHard reports whether the kind models a permanent fault.
+func (k FaultKind) IsHard() bool { return k != SoftFlip }
+
+// Injection describes one fault-injection experiment.
+type Injection struct {
+	Flop  int       // flop index into the CPU registry
+	Kind  FaultKind // soft, stuck-at-0 or stuck-at-1
+	Cycle int       // absolute cycle after whose clock edge the fault applies
+}
+
+// Outcome is the result of one injection experiment.
+type Outcome struct {
+	Detected    bool   // checker observed a divergence
+	DetectCycle int    // absolute cycle of detection (if Detected)
+	DSR         uint64 // diverged SC map latched at detection (if Detected)
+	Converged   bool   // soft fault fully masked: redundant state re-joined golden
+}
+
+// ManifestationCycles is the paper's error detection/manifestation time:
+// fault occurrence to checker detection.
+func (o Outcome) ManifestationCycles(inj Injection) int {
+	return o.DetectCycle - inj.Cycle
+}
+
+// Golden is a recorded fault-free execution of one kernel with periodic
+// state snapshots, shared by all injections into that kernel.
+type Golden struct {
+	Kernel      *workload.Kernel
+	Entry       uint32
+	TotalCycles int
+
+	snaps []snapshot
+}
+
+type snapshot struct {
+	cycle int
+	cpu   cpu.State
+	ram   []uint32
+	ext   mem.ExtPort
+}
+
+// NewGolden runs the kernel fault-free for totalCycles and snapshots the
+// full system state every snapEvery cycles (snapshot 0 is reset state).
+func NewGolden(k *workload.Kernel, totalCycles, snapEvery int) (*Golden, error) {
+	if totalCycles <= 0 || snapEvery <= 0 {
+		return nil, fmt.Errorf("lockstep: bad golden config %d/%d", totalCycles, snapEvery)
+	}
+	sys, entry, err := k.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	g := &Golden{Kernel: k, Entry: entry, TotalCycles: totalCycles}
+	c := cpu.New(sys, entry)
+	g.snap(c, sys, 0)
+	for cyc := 1; cyc <= totalCycles; cyc++ {
+		c.StepCycle()
+		if c.State.Trapped() {
+			return nil, fmt.Errorf("lockstep: golden %s trapped at cycle %d", k.Name, cyc)
+		}
+		if cyc%snapEvery == 0 {
+			g.snap(c, sys, cyc)
+		}
+	}
+	return g, nil
+}
+
+func (g *Golden) snap(c *cpu.CPU, sys *mem.System, cycle int) {
+	g.snaps = append(g.snaps, snapshot{
+		cycle: cycle,
+		cpu:   c.State,
+		ram:   sys.Snapshot(0, mem.RAMBytes/4),
+		ext:   *sys.Ext(),
+	})
+}
+
+// restore returns a fresh system and golden CPU positioned at the latest
+// snapshot at or before cycle, plus that snapshot's cycle number.
+func (g *Golden) restore(cycle int) (*mem.System, *cpu.CPU, int) {
+	idx := 0
+	for i, s := range g.snaps {
+		if s.cycle <= cycle {
+			idx = i
+		} else {
+			break
+		}
+	}
+	s := &g.snaps[idx]
+	sys := mem.NewSystem()
+	sys.RestoreRAM(s.ram)
+	*sys.Ext() = s.ext
+	c := &cpu.CPU{State: s.cpu, Bus: sys}
+	return sys, c, s.cycle
+}
+
+// Inject runs one fault-injection experiment: the golden (main) CPU drives
+// the memory system; the redundant CPU consumes the same inputs and has
+// fault forcing applied; the checker compares output ports every cycle.
+// The run ends at detection, at state re-convergence (soft faults), or at
+// the golden run's horizon. The DSR accumulates for the default
+// StopLatency window.
+func (g *Golden) Inject(inj Injection) Outcome {
+	return g.InjectW(inj, StopLatency)
+}
+
+// InjectW is Inject with an explicit checker stop-latency window: the
+// number of cycles the DSR keeps OR-accumulating after the first
+// divergence before the CPUs stop. window <= 1 latches only the
+// first-divergence map. Exposed for the stop-window sensitivity ablation.
+func (g *Golden) InjectW(inj Injection, window int) Outcome {
+	if inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
+		return Outcome{}
+	}
+	if window < 1 {
+		window = 1
+	}
+	sys, main, cyc := g.restore(inj.Cycle)
+	// Advance the fault-free prefix on the main CPU alone: the redundant
+	// CPU is bit-identical until the fault applies.
+	for ; cyc < inj.Cycle; cyc++ {
+		main.StepCycle()
+	}
+	red := cpu.CPU{State: main.State, Bus: mem.Monitor{Sys: sys}}
+
+	// Apply the fault after the injection-cycle clock edge. A soft fault
+	// inverts the flop for exactly one cycle — per Section III-B, "its
+	// effect on the sequential element will disappear in the next cycle" —
+	// while downstream corruption it caused propagates naturally. Stuck-at
+	// faults are re-forced after every clock edge.
+	switch inj.Kind {
+	case SoftFlip:
+		cpu.FlipBit(&red.State, inj.Flop)
+	case Stuck0:
+		cpu.ForceBit(&red.State, inj.Flop, false)
+	case Stuck1:
+		cpu.ForceBit(&red.State, inj.Flop, true)
+	}
+
+	softArmed := inj.Kind == SoftFlip
+	stepFaulty := func() {
+		main.StepCycle()
+		red.StepCycle()
+		switch inj.Kind {
+		case SoftFlip:
+			if softArmed {
+				// The transient has passed: the flop itself recovers.
+				cpu.ForceBit(&red.State, inj.Flop, cpu.GetBit(&main.State, inj.Flop))
+				softArmed = false
+			}
+		case Stuck0:
+			cpu.ForceBit(&red.State, inj.Flop, false)
+		case Stuck1:
+			cpu.ForceBit(&red.State, inj.Flop, true)
+		}
+	}
+	for ; cyc < g.TotalCycles; cyc++ {
+		om := main.State.Outputs()
+		or := red.State.Outputs()
+		if dsr := cpu.Diverge(&om, &or); dsr != 0 {
+			// Error detected. The checker's error output takes the stop
+			// window to actually halt the CPUs; the DSR keeps
+			// OR-accumulating per-SC divergences during that window
+			// (Figure 6's DSR bits are set, never cleared, until read).
+			detect := cyc
+			for w := 1; w < window && cyc+1 < g.TotalCycles; w++ {
+				stepFaulty()
+				cyc++
+				om = main.State.Outputs()
+				or = red.State.Outputs()
+				dsr |= cpu.Diverge(&om, &or)
+			}
+			return Outcome{Detected: true, DetectCycle: detect, DSR: dsr}
+		}
+		if inj.Kind == SoftFlip && !softArmed && red.State == main.State {
+			return Outcome{Converged: true}
+		}
+		stepFaulty()
+	}
+	// Horizon reached without divergence: masked.
+	return Outcome{}
+}
+
+// StopLatency is the number of cycles between the checker raising its
+// error output and the CPUs actually stopping (interrupt delivery and
+// clock-stop propagation). The Divergence Status Register accumulates
+// diverged SCs throughout this window, which is what lets permanent
+// faults — which keep corrupting outputs — spread across visibly more SCs
+// than single-cycle transients (Section III-B).
+const StopLatency = 12
+
+// Checker is the standalone lockstep error checker + error correlation
+// front-end of the paper's Figure 6: it compares the output ports of two
+// (or more) CPUs, OR-reduces per-SC differences, and latches the first
+// divergence into the Divergence Status Register.
+type Checker struct {
+	DSR      uint64 // diverged-SC map latched at first error
+	Error    bool   // sticky lockstep error flag
+	ErrCycle int    // cycle the error was latched
+	cycle    int
+}
+
+// Compare feeds one cycle of output vectors to the checker. It returns
+// true when this cycle latched a new error. Once Error is set the checker
+// holds its state (the CPUs would be stopped by the system controller).
+func (c *Checker) Compare(vecs ...*cpu.OutVec) bool {
+	c.cycle++
+	if c.Error || len(vecs) < 2 {
+		return false
+	}
+	var dsr uint64
+	for i := 1; i < len(vecs); i++ {
+		dsr |= cpu.Diverge(vecs[0], vecs[i])
+	}
+	if dsr == 0 {
+		return false
+	}
+	c.DSR = dsr
+	c.Error = true
+	c.ErrCycle = c.cycle
+	return true
+}
+
+// Reset clears the checker for reuse after error handling.
+func (c *Checker) Reset() { *c = Checker{} }

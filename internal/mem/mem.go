@@ -1,0 +1,192 @@
+// Package mem models the memory system outside the CPU's sphere of
+// replication: the tightly-coupled SRAM (instruction and data ports) and an
+// external "ECU peripheral" region reached through the CPU's Bus Interface
+// Unit. In CPU-level lockstepping (Figure 1c of the paper) memories are
+// outside the sphere and assumed ECC-protected, so this package is never a
+// fault-injection target; it only has to be deterministic.
+package mem
+
+import (
+	"fmt"
+
+	"lockstep/internal/asm"
+)
+
+// Memory map constants.
+const (
+	// RAMBytes is the size of the tightly-coupled SRAM. Code and data share
+	// one flat TCM image (separate instruction/data ports, single array).
+	RAMBytes = 256 * 1024
+
+	// ExtBase is the start of the external peripheral region, reached via
+	// the BIU with multi-cycle latency.
+	ExtBase = 0x8000_0000
+
+	// ExtActuatorWords is the size of the peripheral's write-capture ring.
+	ExtActuatorWords = 64
+)
+
+// Bus is the CPU's view of the world outside the sphere of replication.
+// ReadWord must be side-effect free so that redundant (compare-only) CPUs
+// can share one System with the main CPU.
+type Bus interface {
+	// ReadWord returns the word at the word-aligned address addr&^3.
+	// Addresses in the external region return peripheral data.
+	ReadWord(addr uint32) uint32
+	// WriteMasked writes the bits selected by mask (an expanded byte-lane
+	// mask) of data to the word at addr&^3.
+	WriteMasked(addr, data, mask uint32)
+}
+
+// System is the memory system driven by the main CPU: SRAM plus the
+// external peripheral.
+type System struct {
+	ram []uint32
+	ext ExtPort
+}
+
+// NewSystem returns a zeroed memory system.
+func NewSystem() *System {
+	return &System{ram: make([]uint32, RAMBytes/4)}
+}
+
+// Reset zeroes RAM and the peripheral, preserving capacity.
+func (s *System) Reset() {
+	for i := range s.ram {
+		s.ram[i] = 0
+	}
+	s.ext = ExtPort{}
+}
+
+// LoadProgram copies an assembled image into RAM.
+// It returns an error if the image does not fit.
+func (s *System) LoadProgram(p *asm.Program) error {
+	base := p.Origin / 4
+	if int(base)+len(p.Words) > len(s.ram) {
+		return fmt.Errorf("mem: program [0x%x, 0x%x) exceeds %d-byte RAM",
+			p.Origin, p.Origin+uint32(len(p.Words)*4), RAMBytes)
+	}
+	copy(s.ram[base:], p.Words)
+	return nil
+}
+
+// ReadWord implements Bus.
+func (s *System) ReadWord(addr uint32) uint32 {
+	if addr >= ExtBase {
+		return s.ext.read(addr)
+	}
+	i := addr / 4
+	if int(i) >= len(s.ram) {
+		return 0
+	}
+	return s.ram[i]
+}
+
+// WriteMasked implements Bus.
+func (s *System) WriteMasked(addr, data, mask uint32) {
+	if addr >= ExtBase {
+		s.ext.write(addr, data, mask)
+		return
+	}
+	i := addr / 4
+	if int(i) >= len(s.ram) {
+		return
+	}
+	s.ram[i] = s.ram[i]&^mask | data&mask
+}
+
+// Ext exposes the peripheral for inspection by tests and examples.
+func (s *System) Ext() *ExtPort { return &s.ext }
+
+// RestoreRAM overwrites RAM from a snapshot taken with Snapshot(0, ...).
+// Short snapshots leave the tail of RAM untouched.
+func (s *System) RestoreRAM(words []uint32) {
+	copy(s.ram, words)
+}
+
+// Snapshot returns a copy of a RAM word range for test assertions.
+func (s *System) Snapshot(addr uint32, words int) []uint32 {
+	out := make([]uint32, words)
+	copy(out, s.ram[addr/4:])
+	return out
+}
+
+// Monitor adapts a System for a redundant, compare-only CPU: reads are
+// forwarded (they are side-effect free) and writes are discarded, because
+// in CPU-level lockstepping only the main CPU drives the bus. A faulty
+// redundant CPU therefore cannot corrupt the shared memory image.
+type Monitor struct {
+	Sys *System
+}
+
+// ReadWord implements Bus.
+func (m Monitor) ReadWord(addr uint32) uint32 { return m.Sys.ReadWord(addr) }
+
+// WriteMasked implements Bus by dropping the write.
+func (m Monitor) WriteMasked(addr, data, mask uint32) {}
+
+// ExtWrite is one recorded actuator write.
+type ExtWrite struct {
+	Addr, Data, Mask uint32
+}
+
+// ExtPort is a deterministic external peripheral standing in for the
+// automotive sensors and actuators an ECU talks to: reads return a fixed
+// pseudo-random "sensor" pattern derived from the address, and writes are
+// captured into an actuator ring so workloads have observable external
+// output traffic through the BIU.
+type ExtPort struct {
+	Actuator [ExtActuatorWords]uint32
+	Writes   uint64 // total accepted writes
+	Reads    uint64 // total reads served
+
+	// TraceCap > 0 records the first TraceCap writes into TraceLog,
+	// giving tests an ordered view of the actuator output stream.
+	TraceCap int
+	TraceLog []ExtWrite
+}
+
+func (e *ExtPort) read(addr uint32) uint32 {
+	e.Reads++
+	return SensorValue(addr)
+}
+
+func (e *ExtPort) write(addr, data, mask uint32) {
+	idx := (addr / 4) % ExtActuatorWords
+	e.Actuator[idx] = e.Actuator[idx]&^mask | data&mask
+	e.Writes++
+	if len(e.TraceLog) < e.TraceCap {
+		e.TraceLog = append(e.TraceLog, ExtWrite{Addr: addr, Data: data, Mask: mask})
+	}
+}
+
+// SensorValue is the deterministic read pattern of the peripheral region:
+// a 32-bit mix of the word address. It is pure so golden and replayed runs
+// observe identical inputs.
+func SensorValue(addr uint32) uint32 {
+	x := addr &^ 3
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// ByteLaneMask expands a 4-bit byte-enable into a 32-bit write mask.
+func ByteLaneMask(be uint32) uint32 {
+	var m uint32
+	if be&1 != 0 {
+		m |= 0x0000_00FF
+	}
+	if be&2 != 0 {
+		m |= 0x0000_FF00
+	}
+	if be&4 != 0 {
+		m |= 0x00FF_0000
+	}
+	if be&8 != 0 {
+		m |= 0xFF00_0000
+	}
+	return m
+}

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lockstep/internal/asm"
+)
+
+func TestByteLaneMask(t *testing.T) {
+	cases := map[uint32]uint32{
+		0b0000: 0x0000_0000,
+		0b0001: 0x0000_00FF,
+		0b0010: 0x0000_FF00,
+		0b0100: 0x00FF_0000,
+		0b1000: 0xFF00_0000,
+		0b1111: 0xFFFF_FFFF,
+		0b0101: 0x00FF_00FF,
+	}
+	for be, want := range cases {
+		if got := ByteLaneMask(be); got != want {
+			t.Errorf("ByteLaneMask(%#b) = %#x, want %#x", be, got, want)
+		}
+	}
+}
+
+func TestWriteMaskedMergesLanes(t *testing.T) {
+	s := NewSystem()
+	s.WriteMasked(0x100, 0xAABBCCDD, 0xFFFF_FFFF)
+	s.WriteMasked(0x100, 0x0000_EE00, 0x0000_FF00)
+	if got := s.ReadWord(0x100); got != 0xAABBEEDD {
+		t.Fatalf("merged word %#x", got)
+	}
+}
+
+// TestWriteMaskedProperty: only masked bits change.
+func TestWriteMaskedProperty(t *testing.T) {
+	f := func(addrRaw, old, data, beRaw uint32) bool {
+		addr := addrRaw % (RAMBytes - 4) &^ 3
+		mask := ByteLaneMask(beRaw & 0xF)
+		s := NewSystem()
+		s.WriteMasked(addr, old, 0xFFFF_FFFF)
+		s.WriteMasked(addr, data, mask)
+		got := s.ReadWord(addr)
+		return got == old&^mask|data&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangeAccessIsBenign(t *testing.T) {
+	s := NewSystem()
+	s.WriteMasked(RAMBytes+0x1000, 0xFFFFFFFF, 0xFFFFFFFF) // hole: dropped
+	if got := s.ReadWord(RAMBytes + 0x1000); got != 0 {
+		t.Fatalf("hole read %#x", got)
+	}
+}
+
+func TestSensorDeterminism(t *testing.T) {
+	a := SensorValue(ExtBase + 0x40)
+	b := SensorValue(ExtBase + 0x40)
+	if a != b {
+		t.Fatal("sensor not deterministic")
+	}
+	if SensorValue(ExtBase) == SensorValue(ExtBase+4) {
+		t.Fatal("adjacent sensors should differ")
+	}
+	// Sub-word addresses alias to the word.
+	if SensorValue(ExtBase+0x41) != SensorValue(ExtBase+0x40) {
+		t.Fatal("sensor should be word-granular")
+	}
+}
+
+func TestExtPortActuator(t *testing.T) {
+	s := NewSystem()
+	s.WriteMasked(ExtBase+8, 0x1234, 0xFFFF_FFFF)
+	if got := s.Ext().Actuator[2]; got != 0x1234 {
+		t.Fatalf("actuator[2] = %#x", got)
+	}
+	if s.Ext().Writes != 1 {
+		t.Fatalf("writes = %d", s.Ext().Writes)
+	}
+	s.ReadWord(ExtBase)
+	if s.Ext().Reads != 1 {
+		t.Fatalf("reads = %d", s.Ext().Reads)
+	}
+	// Ring wrap.
+	s.WriteMasked(ExtBase+uint32(ExtActuatorWords*4)+8, 0x5678, 0xFFFF_FFFF)
+	if got := s.Ext().Actuator[2]; got != 0x5678 {
+		t.Fatalf("wrapped actuator[2] = %#x", got)
+	}
+}
+
+func TestExtPortTrace(t *testing.T) {
+	s := NewSystem()
+	s.Ext().TraceCap = 2
+	for i := uint32(0); i < 5; i++ {
+		s.WriteMasked(ExtBase+i*4, i, 0xFFFF_FFFF)
+	}
+	log := s.Ext().TraceLog
+	if len(log) != 2 {
+		t.Fatalf("trace length %d, want cap 2", len(log))
+	}
+	if log[0].Addr != ExtBase || log[1].Addr != ExtBase+4 {
+		t.Fatalf("trace order wrong: %+v", log)
+	}
+}
+
+func TestMonitorDropsWrites(t *testing.T) {
+	s := NewSystem()
+	s.WriteMasked(0x200, 0xCAFE, 0xFFFF_FFFF)
+	m := Monitor{Sys: s}
+	m.WriteMasked(0x200, 0xDEAD, 0xFFFF_FFFF)
+	m.WriteMasked(ExtBase, 0xDEAD, 0xFFFF_FFFF)
+	if got := m.ReadWord(0x200); got != 0xCAFE {
+		t.Fatalf("monitor write leaked: %#x", got)
+	}
+	if s.Ext().Writes != 0 {
+		t.Fatal("monitor peripheral write leaked")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewSystem()
+	for i := uint32(0); i < 64; i += 4 {
+		s.WriteMasked(i, i*7, 0xFFFF_FFFF)
+	}
+	snap := s.Snapshot(0, RAMBytes/4)
+	s.WriteMasked(8, 0xFFFF_FFFF, 0xFFFF_FFFF)
+	s.RestoreRAM(snap)
+	if got := s.ReadWord(8); got != 56 {
+		t.Fatalf("restore failed: %#x", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSystem()
+	s.WriteMasked(0, 1, 0xFFFF_FFFF)
+	s.WriteMasked(ExtBase, 2, 0xFFFF_FFFF)
+	s.Reset()
+	if s.ReadWord(0) != 0 || s.Ext().Writes != 0 || s.Ext().Actuator[0] != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestLoadProgram(t *testing.T) {
+	s := NewSystem()
+	p := &asm.Program{Origin: 0x40, Words: []uint32{0xAAAA, 0xBBBB}}
+	if err := s.LoadProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReadWord(0x40) != 0xAAAA || s.ReadWord(0x44) != 0xBBBB {
+		t.Fatal("program not loaded")
+	}
+	// Too large.
+	big := &asm.Program{Origin: RAMBytes - 4, Words: []uint32{1, 2}}
+	if err := s.LoadProgram(big); err == nil {
+		t.Fatal("oversized program accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package sbist
+
+import (
+	"lockstep/internal/core"
+	"lockstep/internal/cpu"
+	"lockstep/internal/units"
+)
+
+// LBIST support. Section III of the paper notes the predictor serves both
+// BIST styles: an LBIST controller "can constrain the test search space to
+// the scan chains relevant to the predicted CPU units". Modelling-wise,
+// LBIST diagnosis per unit costs patterns x (scan chain length + capture),
+// where the chain length is that unit's flop count — which this repository
+// knows exactly, from the fault-injection registry.
+//
+// The baseline and prediction Models are latency-agnostic, so LBIST reuse
+// is just a Config with LBIST latencies: the same five orderings apply to
+// scan-chain groups instead of software test libraries.
+
+// LBISTPatterns is the pseudo-random pattern count applied per unit's
+// chain group (a typical production LBIST session applies hundreds to
+// thousands of patterns).
+const LBISTPatterns = 512
+
+// LBISTCaptureOverhead is the per-pattern capture/compare overhead in
+// cycles on top of the scan shift.
+const LBISTCaptureOverhead = 8
+
+// LBISTLatencies derives per-unit LBIST diagnosis latencies from the CPU's
+// actual per-unit flip-flop counts.
+func LBISTLatencies(gran core.Granularity) []int64 {
+	n := gran.Units()
+	out := make([]int64, n)
+	for u := 0; u < n; u++ {
+		var flops int
+		if gran == core.Fine13 {
+			flops = cpu.FineFlops(units.Fine(u))
+		} else {
+			flops = cpu.UnitFlops(units.Unit(u))
+		}
+		out[u] = int64(LBISTPatterns) * int64(flops+LBISTCaptureOverhead)
+	}
+	return out
+}
+
+// NewLBISTConfig builds a Config whose unit latencies model LBIST
+// scan-chain sessions instead of software test libraries.
+func NewLBISTConfig(gran core.Granularity, restart map[string]int64, tableAccess int64) Config {
+	return Config{Gran: gran, STL: LBISTLatencies(gran), Restart: restart, TableAccess: tableAccess}
+}

@@ -1,0 +1,343 @@
+package sbist
+
+import (
+	"math/rand"
+	"testing"
+
+	"lockstep/internal/core"
+	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+func testConfig(gran core.Granularity) Config {
+	return NewConfig(gran, map[string]int64{"k": 5000}, OnChipTableAccess)
+}
+
+func hardRec(fine units.Fine, dsr uint64) dataset.Record {
+	return dataset.Record{
+		Kernel: "k", Detected: true, DSR: dsr,
+		Unit: fine.Coarse(), Fine: fine, Kind: lockstep.Stuck1,
+		InjectCycle: 100, DetectCycle: 300,
+	}
+}
+
+func softRec(fine units.Fine, dsr uint64) dataset.Record {
+	r := hardRec(fine, dsr)
+	r.Kind = lockstep.SoftFlip
+	return r
+}
+
+func TestDefaultSTLMatchesTableII(t *testing.T) {
+	stl := DefaultSTL(core.Coarse7)
+	if len(stl) != 7 {
+		t.Fatalf("%d coarse STLs", len(stl))
+	}
+	min, max, sum := stl[0], stl[0], int64(0)
+	for _, l := range stl {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if min != 25_000 || max != 700_000 {
+		t.Fatalf("range [%d, %d], want [25000, 700000] (paper Table II)", min, max)
+	}
+	mean := sum / 7
+	if mean < 150_000 || mean > 190_000 {
+		t.Fatalf("mean %d not near the paper's 170k", mean)
+	}
+}
+
+func TestFineSTLPartitionsDPU(t *testing.T) {
+	coarse := DefaultSTL(core.Coarse7)
+	fine := DefaultSTL(core.Fine13)
+	var dpuSum int64
+	for f := units.FineDPUDecode; f < units.NumFine; f++ {
+		dpuSum += fine[f]
+	}
+	if dpuSum != coarse[units.DPU] {
+		t.Fatalf("DPU constituents sum to %d, want %d (Section V-D: the DPU STL is broken into its 7 constituents)",
+			dpuSum, coarse[units.DPU])
+	}
+	// Non-DPU units keep their coarse latencies.
+	pairs := [][2]int64{
+		{fine[units.FinePFU], coarse[units.PFU]},
+		{fine[units.FineIMC], coarse[units.IMC]},
+		{fine[units.FineLSU], coarse[units.LSU]},
+		{fine[units.FineDMC], coarse[units.DMC]},
+		{fine[units.FineBIU], coarse[units.BIU]},
+		{fine[units.FineSCU], coarse[units.SCU]},
+	}
+	for i, p := range pairs {
+		if p[0] != p[1] {
+			t.Fatalf("pair %d: fine %d != coarse %d", i, p[0], p[1])
+		}
+	}
+}
+
+func TestScanAccounting(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	order := []uint8{uint8(units.BIU), uint8(units.DPU), uint8(units.PFU)}
+	cycles, tested := cfg.scan(order, int(units.DPU))
+	if tested != 2 {
+		t.Fatalf("tested %d, want 2", tested)
+	}
+	if want := cfg.STL[units.BIU] + cfg.STL[units.DPU]; cycles != want {
+		t.Fatalf("cycles %d, want %d", cycles, want)
+	}
+}
+
+func TestBaselineHardError(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	m := NewBaseAscending(cfg)
+	rng := rand.New(rand.NewSource(1))
+	// base-ascending order: BIU(25k) IMC(45k) DMC(50k) PFU(60k) LSU(90k)
+	// SCU(200k) DPU(700k).
+	res := m.React(hardRec(units.FineDMC, 1), rng)
+	if res.UnitsTested != 3 {
+		t.Fatalf("tested %d units, want 3", res.UnitsTested)
+	}
+	if want := int64(25_000 + 45_000 + 50_000); res.Cycles != want {
+		t.Fatalf("LERT %d, want %d", res.Cycles, want)
+	}
+	if !res.SBISTRun {
+		t.Fatal("SBIST should run")
+	}
+}
+
+func TestBaselineSoftError(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	m := NewBaseAscending(cfg)
+	rng := rand.New(rand.NewSource(1))
+	res := m.React(softRec(units.FinePFU, 1), rng)
+	if want := cfg.allSTL() + 5000; res.Cycles != want {
+		t.Fatalf("soft LERT %d, want all STLs + restart = %d", res.Cycles, want)
+	}
+	if res.UnitsTested != 7 {
+		t.Fatalf("soft error should test all units, got %d", res.UnitsTested)
+	}
+}
+
+func TestBaseRandomAlwaysFinds(t *testing.T) {
+	cfg := testConfig(core.Fine13)
+	m := BaseRandom{Cfg: cfg}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		fine := units.Fine(rng.Intn(units.NumFine))
+		res := m.React(hardRec(fine, 1), rng)
+		if res.UnitsTested < 1 || res.UnitsTested > 13 {
+			t.Fatalf("tested %d units", res.UnitsTested)
+		}
+		if res.Cycles < cfg.STL[fine] {
+			t.Fatalf("LERT %d below the faulty unit's own STL", res.Cycles)
+		}
+	}
+}
+
+func TestBaseManifestOrdering(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	// Training data: LSU manifests at 100%, PFU at 50%, others never.
+	train := &dataset.Dataset{}
+	for i := 0; i < 10; i++ {
+		train.Records = append(train.Records, hardRec(units.FineLSU, 1))
+	}
+	for i := 0; i < 5; i++ {
+		train.Records = append(train.Records, hardRec(units.FinePFU, 1))
+		r := hardRec(units.FinePFU, 0)
+		r.Detected = false
+		train.Records = append(train.Records, r)
+	}
+	m := NewBaseManifest(cfg, train)
+	if m.order[0] != uint8(units.LSU) || m.order[1] != uint8(units.PFU) {
+		t.Fatalf("order %v, want LSU then PFU first", m.order)
+	}
+}
+
+func trainedTable(t *testing.T) *core.Table {
+	t.Helper()
+	d := &dataset.Dataset{}
+	// Set 1<<u belongs to unit u; softs in set 0b1000000000 only.
+	fines := []units.Fine{units.FinePFU, units.FineIMC, units.FineLSU,
+		units.FineDMC, units.FineBIU, units.FineSCU, units.FineDPUALU}
+	for u, f := range fines {
+		for i := 0; i < 6; i++ {
+			d.Records = append(d.Records, hardRec(f, 1<<uint(u+1)))
+		}
+	}
+	for i := 0; i < 6; i++ {
+		d.Records = append(d.Records, softRec(units.FinePFU, 1<<20))
+	}
+	return core.Train(d, core.Coarse7, 0)
+}
+
+func TestPredLocationOnly(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	table := trainedTable(t)
+	m := PredLocationOnly{Cfg: cfg, Table: table}
+	rng := rand.New(rand.NewSource(3))
+	// Known hard signature: predicted unit first, one STL + table access.
+	r := hardRec(units.FineLSU, 1<<3)
+	res := m.React(r, rng)
+	if res.UnitsTested != 1 {
+		t.Fatalf("tested %d, want 1", res.UnitsTested)
+	}
+	if want := cfg.TableAccess + cfg.STL[units.LSU]; res.Cycles != want {
+		t.Fatalf("LERT %d, want %d", res.Cycles, want)
+	}
+}
+
+func TestPredCombSoftSkipsSBIST(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	table := trainedTable(t)
+	m := PredComb{Cfg: cfg, Table: table}
+	rng := rand.New(rand.NewSource(4))
+	res := m.React(softRec(units.FinePFU, 1<<20), rng)
+	if res.SBISTRun {
+		t.Fatal("correctly predicted soft error must skip SBIST")
+	}
+	if res.UnitsTested != 0 {
+		t.Fatalf("tested %d units, want 0", res.UnitsTested)
+	}
+	if want := cfg.TableAccess + 5000; res.Cycles != want {
+		t.Fatalf("LERT %d, want table access + restart = %d", res.Cycles, want)
+	}
+}
+
+func TestPredCombMispredictedHard(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	table := trainedTable(t)
+	m := PredComb{Cfg: cfg, Table: table}
+	rng := rand.New(rand.NewSource(5))
+	// A hard error that produces the soft-looking signature: predicted
+	// soft, recurs, then diagnosed in the predicted order.
+	r := hardRec(units.FinePFU, 1<<20)
+	res := m.React(r, rng)
+	if !res.SBISTRun {
+		t.Fatal("second error must trigger SBIST")
+	}
+	// Accounting: access + restart + access + scan-to-PFU. The entry for
+	// 1<<20 was trained on PFU records, so PFU is first.
+	if want := cfg.TableAccess + 5000 + cfg.TableAccess + cfg.STL[units.PFU]; res.Cycles != want {
+		t.Fatalf("LERT %d, want %d", res.Cycles, want)
+	}
+}
+
+// TestPredCombNeverWorseThanWorstCase: the paper's safety argument — the
+// combined model's LERT never exceeds the provisioned worst case (all
+// STLs + restart + bounded table accesses).
+func TestPredCombNeverWorseThanWorstCase(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	table := trainedTable(t)
+	m := PredComb{Cfg: cfg, Table: table}
+	rng := rand.New(rand.NewSource(6))
+	worst := cfg.allSTL() + 5000 + 2*cfg.TableAccess
+	for i := 0; i < 500; i++ {
+		fine := units.Fine(rng.Intn(units.NumFine))
+		var r dataset.Record
+		if rng.Intn(2) == 0 {
+			r = hardRec(fine, rng.Uint64()%64)
+		} else {
+			r = softRec(fine, rng.Uint64()%64)
+		}
+		res := m.React(r, rng)
+		if res.Cycles > worst {
+			t.Fatalf("LERT %d exceeds worst case %d for %+v", res.Cycles, worst, r)
+		}
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	table := trainedTable(t)
+	test := &dataset.Dataset{}
+	test.Records = append(test.Records,
+		hardRec(units.FineLSU, 1<<3),
+		softRec(units.FinePFU, 1<<20),
+		dataset.Record{Kernel: "k", Detected: false}, // skipped
+	)
+	e := Evaluate(PredComb{Cfg: cfg, Table: table}, test, 1)
+	if e.N != 2 {
+		t.Fatalf("N = %d, want 2", e.N)
+	}
+	if e.SBISTShare != 0.5 {
+		t.Fatalf("SBIST share %v, want 0.5", e.SBISTShare)
+	}
+	if e.Model != "pred-comb" {
+		t.Fatalf("model name %q", e.Model)
+	}
+	wantMean := float64(cfg.TableAccess+cfg.STL[units.LSU]+cfg.TableAccess+5000) / 2
+	if e.MeanLERT != wantMean {
+		t.Fatalf("mean LERT %v, want %v", e.MeanLERT, wantMean)
+	}
+}
+
+func TestRestartFallback(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	if cfg.RestartOf("unknown-kernel") != 10_000 {
+		t.Fatal("fallback restart should be the paper's 10k mean")
+	}
+	if cfg.RestartOf("k") != 5000 {
+		t.Fatal("known kernel restart wrong")
+	}
+}
+
+func TestPredDynamicLearnsOnline(t *testing.T) {
+	cfg := testConfig(core.Coarse7)
+	m := PredDynamic{Cfg: cfg, Dyn: core.NewDynamic(core.Coarse7)}
+	rng := rand.New(rand.NewSource(7))
+	r := hardRec(units.FineLSU, 0b1010)
+	first := m.React(r, rng)
+	// After observing the same signature repeatedly, the predictor should
+	// place LSU first and the reaction should shrink.
+	for i := 0; i < 10; i++ {
+		m.React(r, rng)
+	}
+	last := m.React(r, rng)
+	if last.Cycles > first.Cycles {
+		t.Fatalf("dynamic predictor did not improve: %d -> %d", first.Cycles, last.Cycles)
+	}
+	if last.UnitsTested != 1 {
+		t.Fatalf("converged dynamic predictor tests %d units", last.UnitsTested)
+	}
+}
+
+func TestLBISTLatencies(t *testing.T) {
+	for _, gran := range []core.Granularity{core.Coarse7, core.Fine13} {
+		lat := LBISTLatencies(gran)
+		if len(lat) != gran.Units() {
+			t.Fatalf("%v: %d latencies", gran, len(lat))
+		}
+		for u, l := range lat {
+			if l <= 0 {
+				t.Fatalf("%v unit %d: latency %d", gran, u, l)
+			}
+		}
+	}
+	coarse := LBISTLatencies(core.Coarse7)
+	// The DPU has the most flops, so the longest scan session.
+	maxU, maxL := 0, int64(0)
+	for u, l := range coarse {
+		if l > maxL {
+			maxU, maxL = u, l
+		}
+	}
+	if units.Unit(maxU) != units.DPU && units.Unit(maxU) != units.SCU {
+		t.Fatalf("largest LBIST session in %v; want DPU or SCU (most flops)", units.Unit(maxU))
+	}
+}
+
+func TestLBISTConfigWorksWithModels(t *testing.T) {
+	cfg := NewLBISTConfig(core.Coarse7, map[string]int64{"k": 5000}, OffChipTableAccess)
+	table := trainedTable(t)
+	rng := rand.New(rand.NewSource(8))
+	base := NewBaseAscending(cfg).React(hardRec(units.FineDPUALU, 1<<7), rng)
+	pred := PredLocationOnly{Cfg: cfg, Table: table}.React(hardRec(units.FineDPUALU, 1<<7), rng)
+	if pred.Cycles >= base.Cycles {
+		t.Fatalf("LBIST prediction (%d) should beat ascending order (%d) for a DPU fault",
+			pred.Cycles, base.Cycles)
+	}
+}

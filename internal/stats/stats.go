@@ -1,0 +1,150 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: min/mean/max summaries, discrete distributions and the
+// Bhattacharyya coefficient the paper uses to quantify the similarity of
+// error-signature histograms (Section III-A, citing Aherne et al.).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a [min, mean, max] description of a sample, the format the
+// paper's Tables I and II use.
+type Summary struct {
+	Min  float64
+	Mean float64
+	Max  float64
+	N    int
+}
+
+// Summarize computes a Summary over xs. An empty sample yields zeros.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: xs[0], Max: xs[0], N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// SummarizeInts is Summarize for integer samples.
+func SummarizeInts(xs []int) Summary {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Summarize(f)
+}
+
+// String renders the summary the way the paper prints ranges.
+func (s Summary) String() string {
+	return fmt.Sprintf("[%.4g, %.4g, %.4g]", s.Min, s.Mean, s.Max)
+}
+
+// Normalize converts counts to a probability vector. An all-zero vector
+// stays all-zero.
+func Normalize(counts []float64) []float64 {
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}
+
+// Bhattacharyya computes the Bhattacharyya coefficient between two aligned
+// discrete probability distributions: sum_i sqrt(p_i * q_i). It is 1 for
+// identical distributions and 0 for distributions with disjoint support.
+// The inputs must be the same length; they are not renormalised.
+func Bhattacharyya(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: Bhattacharyya on mismatched lengths")
+	}
+	var bc float64
+	for i := range p {
+		if p[i] > 0 && q[i] > 0 {
+			bc += math.Sqrt(p[i] * q[i])
+		}
+	}
+	// Guard against floating-point drift above 1.
+	if bc > 1 {
+		bc = 1
+	}
+	return bc
+}
+
+// MeanPairwiseBC returns, for each distribution, the average Bhattacharyya
+// coefficient against every other distribution — the per-unit "BC across
+// other CPU units" of the paper's Figures 4 and 5.
+func MeanPairwiseBC(dists [][]float64) []float64 {
+	n := len(dists)
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += Bhattacharyya(dists[i], dists[j])
+			}
+		}
+		out[i] = sum / float64(n-1)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// ArgsortDesc returns the indices of xs ordered by descending value, ties
+// broken by ascending index for determinism.
+func ArgsortDesc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx
+}
+
+// ArgsortAsc returns the indices of xs ordered by ascending value, ties
+// broken by ascending index.
+func ArgsortAsc(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// Percent formats a ratio as a percentage string.
+func Percent(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.N != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary %+v", z)
+	}
+	si := SummarizeInts([]int{5, 10})
+	if si.Min != 5 || si.Max != 10 || si.Mean != 7.5 {
+		t.Fatalf("int summary %+v", si)
+	}
+}
+
+// TestSummarizeProperties: min <= mean <= max for any sample.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.N == len(clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{1, 3})
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Fatalf("normalize %v", p)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("zero normalize %v", z)
+	}
+}
+
+func TestBhattacharyyaIdentity(t *testing.T) {
+	p := Normalize([]float64{1, 2, 3, 4})
+	if bc := Bhattacharyya(p, p); math.Abs(bc-1) > 1e-12 {
+		t.Fatalf("BC(p,p) = %v, want 1", bc)
+	}
+}
+
+func TestBhattacharyyaDisjoint(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if bc := Bhattacharyya(p, q); bc != 0 {
+		t.Fatalf("BC disjoint = %v, want 0", bc)
+	}
+}
+
+// TestBhattacharyyaProperties: symmetric and in [0, 1] for any pair of
+// random distributions.
+func TestBhattacharyyaProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		p, q := Normalize(a), Normalize(b)
+		pq := Bhattacharyya(p, q)
+		qp := Bhattacharyya(q, p)
+		if math.Abs(pq-qp) > 1e-12 {
+			t.Fatalf("not symmetric: %v vs %v", pq, qp)
+		}
+		if pq < 0 || pq > 1 {
+			t.Fatalf("out of range: %v", pq)
+		}
+	}
+}
+
+func TestBhattacharyyaMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Bhattacharyya([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestMeanPairwiseBC(t *testing.T) {
+	// Two identical distributions and one disjoint.
+	a := []float64{1, 0, 0}
+	b := []float64{1, 0, 0}
+	c := []float64{0, 1, 0}
+	bc := MeanPairwiseBC([][]float64{a, b, c})
+	if math.Abs(bc[0]-0.5) > 1e-12 { // avg(BC(a,b)=1, BC(a,c)=0)
+		t.Fatalf("bc[0] = %v", bc[0])
+	}
+	if bc[2] != 0 {
+		t.Fatalf("bc[2] = %v", bc[2])
+	}
+	if out := MeanPairwiseBC([][]float64{a}); out[0] != 0 {
+		t.Fatalf("single dist bc = %v", out[0])
+	}
+}
+
+func TestArgsort(t *testing.T) {
+	xs := []float64{2, 5, 5, 1}
+	desc := ArgsortDesc(xs)
+	if desc[0] != 1 || desc[1] != 2 || desc[2] != 0 || desc[3] != 3 {
+		t.Fatalf("desc %v", desc)
+	}
+	asc := ArgsortAsc(xs)
+	if asc[0] != 3 || asc[1] != 0 || asc[2] != 1 || asc[3] != 2 {
+		t.Fatalf("asc %v", asc)
+	}
+}
+
+// TestArgsortIsPermutation via quick.
+func TestArgsortIsPermutation(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) {
+				xs[i] = 0
+			}
+		}
+		idx := ArgsortDesc(xs)
+		seen := make([]bool, len(xs))
+		for _, i := range idx {
+			if i < 0 || i >= len(xs) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for i := 1; i < len(idx); i++ {
+			if xs[idx[i-1]] < xs[idx[i]] {
+				return false
+			}
+		}
+		return len(idx) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndPercent(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Percent(0.125) != "12.5%" {
+		t.Fatalf("percent: %s", Percent(0.125))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Min: 1, Mean: 2.5, Max: 10}
+	if got := s.String(); got != "[1, 2.5, 10]" {
+		t.Fatalf("string: %q", got)
+	}
+}

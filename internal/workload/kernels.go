@@ -1,0 +1,737 @@
+package workload
+
+// The nine kernel sources. Each mirrors the role of an EEMBC AutoBench
+// kernel (Section IV-A of the paper): automotive control and signal
+// processing loops that run continuously, reading operating conditions as
+// inputs and producing actuator outputs every outer-loop iteration.
+
+var allKernels = []*Kernel{
+	{
+		Name:        "ttsprk",
+		Description: "tooth-to-spark: spark-advance table interpolation and fuel injector duration",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ TBL,  0x4000
+        ; Build the spark-advance table: adv[i] = 5 + 3*i - i*i/8, 17 entries.
+        li   r1, TBL
+        li   r2, 0
+        li   r3, 17
+t1:     mul  r4, r2, r2
+        srai r5, r4, 3
+        li   r6, 3
+        mul  r6, r2, r6
+        addi r7, r6, 5
+        sub  r7, r7, r5
+        sw   r7, 0(r1)
+        addi r1, r1, 4
+        inc  r2
+        bne  r2, r3, t1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        ; Engine speed sensor, varying with the iteration.
+        andi r1, r12, 31
+        slli r1, r1, 2
+        add  r2, r13, r1
+        lw   r3, 0x40(r2)
+        li   r4, 8191
+        and  r3, r3, r4        ; rpm in 0..8191
+        ; Interpolate advance: index = rpm>>9, fraction = (rpm>>5)&15.
+        srli r5, r3, 9
+        slli r6, r5, 2
+        li   r7, TBL
+        add  r7, r7, r6
+        lw   r8, 0(r7)
+        lw   r9, 4(r7)
+        sub  r10, r9, r8
+        srli r11, r3, 5
+        andi r11, r11, 15
+        mul  r10, r10, r11
+        srai r10, r10, 4
+        add  r8, r8, r10
+        sw   r8, 4(r13)        ; ignition timing actuator
+        ; Fuel injector duration = load * 5000 / (rpm+1).
+        lw   r9, 0x80(r2)
+        andi r9, r9, 1023
+        li   r10, 5000
+        mul  r9, r9, r10
+        addi r11, r3, 1
+        div  r9, r9, r11
+        sw   r9, 8(r13)        ; injector duration actuator
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "a2time",
+		Description: "angle to time: crank-angle to tooth-time conversion with IIR smoothing",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ ACC,  0x4800
+        sw   r0, ACC(r0)
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        andi r1, r12, 63
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0x200(r1)
+        andi r2, r2, 16383
+        addi r2, r2, 1         ; crank angle 1..16384
+        lw   r3, 0x400(r1)
+        andi r3, r3, 4095
+        addi r3, r3, 100       ; rpm 100..4195
+        ; tooth time = angle * 60000 / (rpm * 360)
+        li   r4, 60000
+        mul  r5, r2, r4
+        li   r6, 360
+        mul  r7, r3, r6
+        div  r8, r5, r7
+        ; IIR smoothing: acc = (7*acc + t) / 8
+        lw   r9, ACC(r0)
+        slli r10, r9, 3
+        sub  r10, r10, r9
+        add  r10, r10, r8
+        srai r10, r10, 3
+        sw   r10, ACC(r0)
+        sw   r10, 4(r13)
+        ; residual jitter
+        rem  r11, r5, r7
+        sw   r11, 8(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "rspeed",
+		Description: "road speed calculation: pulse-period moving average and reciprocal",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ HIST, 0x4C00
+        .equ HEAD, 0x4C20
+        ; Seed the 8-entry period history.
+        li   r1, HIST
+        li   r2, 8
+        li   r3, 1000
+h1:     sw   r3, 0(r1)
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, h1
+        sw   r0, HEAD(r0)
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        andi r1, r12, 15
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0x600(r1)
+        andi r2, r2, 8191
+        addi r2, r2, 200       ; pulse period 200..8391
+        ; history[head] = period; head = (head+1) & 7
+        lw   r3, HEAD(r0)
+        slli r4, r3, 2
+        li   r5, HIST
+        add  r5, r5, r4
+        sw   r2, 0(r5)
+        addi r3, r3, 1
+        andi r3, r3, 7
+        sw   r3, HEAD(r0)
+        ; 8-entry average
+        li   r5, HIST
+        li   r6, 8
+        li   r7, 0
+a1:     lw   r8, 0(r5)
+        add  r7, r7, r8
+        addi r5, r5, 4
+        dec  r6
+        bne  r6, r0, a1
+        srai r7, r7, 3
+        ; speed = 1000000 / average period
+        li   r8, 1000000
+        div  r9, r8, r7
+        sw   r9, 16(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "aifirf",
+		Description: "FIR filter: 16-tap integer filter over a circular sample buffer",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ COEF, 0x5000
+        .equ SAMP, 0x5100
+        .equ SPTR, 0x5300
+        ; Coefficients: c[i] = (i+1)*(16-i).
+        li   r1, COEF
+        li   r2, 0
+c1:     addi r3, r2, 1
+        li   r4, 16
+        sub  r4, r4, r2
+        mul  r3, r3, r4
+        sw   r3, 0(r1)
+        addi r1, r1, 4
+        inc  r2
+        li   r4, 16
+        bne  r2, r4, c1
+        ; Zero the 64-sample circular buffer.
+        li   r1, SAMP
+        li   r2, 64
+z1:     sw   r0, 0(r1)
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, z1
+        sw   r0, SPTR(r0)
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        li   r11, 8            ; samples per iteration
+s1:     lw   r1, SPTR(r0)
+        slli r2, r1, 2
+        andi r3, r2, 252
+        add  r3, r13, r3
+        lw   r4, 0x700(r3)
+        slli r4, r4, 16
+        srai r4, r4, 16        ; 16-bit signed sample
+        li   r5, SAMP
+        add  r5, r5, r2
+        sw   r4, 0(r5)
+        ; y = sum over 16 taps of c[k] * samp[(ptr-k) & 63]
+        li   r6, 0
+        li   r7, 0
+m1:     sub  r8, r1, r6
+        andi r8, r8, 63
+        slli r8, r8, 2
+        li   r9, SAMP
+        add  r9, r9, r8
+        lw   r9, 0(r9)
+        slli r10, r6, 2
+        li   r14, COEF
+        add  r10, r10, r14
+        lw   r10, 0(r10)
+        mul  r9, r9, r10
+        add  r7, r7, r9
+        inc  r6
+        li   r14, 16
+        bne  r6, r14, m1
+        srai r7, r7, 7
+        sw   r7, 20(r13)
+        addi r1, r1, 1
+        andi r1, r1, 63
+        sw   r1, SPTR(r0)
+        dec  r11
+        bne  r11, r0, s1
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "tblook",
+		Description: "table lookup and interpolation: monotone key scan with linear interpolation",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ TBL,  0x5400
+        ; 32 entries of (key, value): key = 4*i*i + i, value = 10000 - 3*i*i.
+        li   r1, TBL
+        li   r2, 0
+b1:     mul  r3, r2, r2
+        slli r3, r3, 2
+        add  r3, r3, r2
+        sw   r3, 0(r1)
+        mul  r4, r2, r2
+        li   r5, 3
+        mul  r4, r4, r5
+        li   r5, 10000
+        sub  r4, r5, r4
+        sw   r4, 4(r1)
+        addi r1, r1, 8
+        inc  r2
+        li   r5, 32
+        bne  r2, r5, b1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        andi r1, r12, 31
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0x800(r1)
+        li   r3, 4095
+        and  r2, r2, r3        ; lookup key
+        ; Scan for the first entry with key >= x.
+        li   r3, TBL
+        li   r4, 0
+sc:     lw   r5, 0(r3)
+        bge  r5, r2, found
+        addi r3, r3, 8
+        inc  r4
+        li   r6, 31
+        bne  r4, r6, sc
+found:  beq  r4, r0, nolerp
+        lw   r5, 0(r3)
+        lw   r6, 4(r3)
+        lw   r7, -8(r3)
+        lw   r8, -4(r3)
+        sub  r9, r5, r7        ; dk
+        sub  r10, r6, r8       ; dv
+        sub  r11, r2, r7       ; x - k0
+        mul  r10, r10, r11
+        addi r9, r9, 1
+        div  r10, r10, r9
+        add  r8, r8, r10
+        sw   r8, 24(r13)
+        j    lend
+nolerp: lw   r6, 4(r3)
+        sw   r6, 24(r13)
+lend:   sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "bitmnp",
+		Description: "bit manipulation: bit reversal and population count over sensor words",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        li   r11, 8            ; words per iteration
+        li   r10, 0            ; checksum
+w1:     add  r2, r12, r11
+        andi r2, r2, 63
+        slli r2, r2, 2
+        add  r2, r13, r2
+        lw   r3, 0x900(r2)
+        ; Bit-reverse r3 into r4.
+        li   r4, 0
+        li   r5, 32
+rv:     slli r4, r4, 1
+        andi r6, r3, 1
+        or   r4, r4, r6
+        srli r3, r3, 1
+        dec  r5
+        bne  r5, r0, rv
+        ; Population count (Kernighan).
+        li   r6, 0
+        mv   r7, r4
+pc:     beq  r7, r0, pcd
+        addi r8, r7, -1
+        and  r7, r7, r8
+        inc  r6
+        j    pc
+pcd:    xor  r10, r10, r4
+        add  r10, r10, r6
+        dec  r11
+        bne  r11, r0, w1
+        sw   r10, 28(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "canrdr",
+		Description: "CAN remote data request: frame ID extraction, filter match, mailbox byte stores",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ FILT, 0x5800
+        .equ MBOX, 0x5900
+        ; Filters 0..7 match the low 3 bits of the frame ID.
+        li   r1, FILT
+        li   r2, 0
+f1:     sw   r2, 0(r1)
+        addi r1, r1, 4
+        inc  r2
+        li   r4, 8
+        bne  r2, r4, f1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        li   r11, 8            ; frames per iteration
+g1:     add  r1, r12, r11
+        andi r1, r1, 63
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0xA00(r1)     ; frame header
+        lw   r3, 0xB00(r1)     ; payload word
+        srli r4, r2, 21        ; 11-bit identifier
+        andi r4, r4, 7         ; filter class
+        ; Scan the filter table.
+        li   r5, FILT
+        li   r6, 0
+cm:     lw   r7, 0(r5)
+        beq  r7, r4, hit
+        addi r5, r5, 4
+        inc  r6
+        li   r8, 8
+        bne  r6, r8, cm
+        j    nxt
+hit:    ; Store payload bytes plus header into mailbox r6.
+        slli r8, r6, 3
+        li   r9, MBOX
+        add  r9, r9, r8
+        sb   r3, 0(r9)
+        srli r10, r3, 8
+        sb   r10, 1(r9)
+        srli r10, r3, 16
+        sb   r10, 2(r9)
+        srli r10, r3, 24
+        sb   r10, 3(r9)
+        sw   r2, 4(r9)
+nxt:    dec  r11
+        bne  r11, r0, g1
+        ; Mailbox checksum to the actuator.
+        li   r1, MBOX
+        li   r2, 16
+        li   r3, 0
+ck:     lw   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, ck
+        sw   r3, 32(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "puwmod",
+		Description: "pulse width modulation: duty-cycle tracking over a 100-step PWM period",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        andi r1, r12, 31
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0xC00(r1)
+        srli r2, r2, 1
+        li   r3, 100
+        rem  r2, r2, r3        ; duty 0..99
+        ; Count high phases across one PWM period.
+        li   r4, 0
+        li   r5, 0
+pw:     slt  r6, r4, r2
+        add  r5, r5, r6
+        inc  r4
+        li   r7, 100
+        bne  r4, r7, pw
+        sw   r5, 36(r13)
+        mul  r8, r5, r3
+        sw   r8, 40(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "matrix",
+		Description: "matrix arithmetic: 6x6 integer multiply with checksum",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ MA,   0x6000
+        .equ MB,   0x6100
+        .equ MC,   0x6200
+        ; Fill A and B with a quadratic pattern.
+        li   r1, MA
+        li   r2, 0
+        li   r3, 36
+q1:     mul  r4, r2, r2
+        addi r4, r4, 3
+        sw   r4, 0(r1)
+        addi r1, r1, 4
+        inc  r2
+        bne  r2, r3, q1
+        li   r1, MB
+        li   r2, 0
+q2:     mul  r4, r2, r2
+        slli r4, r4, 1
+        addi r4, r4, 7
+        sw   r4, 0(r1)
+        addi r1, r1, 4
+        inc  r2
+        bne  r2, r3, q2
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        ; Perturb A[0] so iterations differ.
+        li   r1, MA
+        sw   r12, 0(r1)
+        ; C = A * B (6x6).
+        li   r2, 0             ; i
+mi:     li   r3, 0             ; j
+mj:     li   r4, 0             ; k
+        li   r5, 0             ; acc
+mk:     slli r6, r2, 1
+        add  r6, r6, r2        ; 3i
+        slli r6, r6, 1         ; 6i
+        add  r6, r6, r4
+        slli r6, r6, 2
+        li   r7, MA
+        add  r7, r7, r6
+        lw   r8, 0(r7)
+        slli r9, r4, 1
+        add  r9, r9, r4        ; 3k
+        slli r9, r9, 1         ; 6k
+        add  r9, r9, r3
+        slli r9, r9, 2
+        li   r10, MB
+        add  r10, r10, r9
+        lw   r11, 0(r10)
+        mul  r8, r8, r11
+        add  r5, r5, r8
+        inc  r4
+        li   r14, 6
+        bne  r4, r14, mk
+        slli r6, r2, 1
+        add  r6, r6, r2
+        slli r6, r6, 1
+        add  r6, r6, r3
+        slli r6, r6, 2
+        li   r7, MC
+        add  r7, r7, r6
+        sw   r5, 0(r7)
+        inc  r3
+        bne  r3, r14, mj
+        inc  r2
+        bne  r2, r14, mi
+        ; Checksum C.
+        li   r1, MC
+        li   r2, 36
+        li   r3, 0
+ck:     lw   r4, 0(r1)
+        add  r3, r3, r4
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, ck
+        sw   r3, 44(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "iirflt",
+		Description: "IIR filter: four cascaded integer biquad sections over sensor samples",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ ST,   0x6800
+        ; Zero the biquad state (z1, z2 per section).
+        li   r1, ST
+        li   r2, 8
+z1:     sw   r0, 0(r1)
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, z1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        andi r1, r12, 63
+        slli r1, r1, 2
+        add  r1, r13, r1
+        lw   r2, 0xD00(r1)
+        slli r2, r2, 16
+        srai r2, r2, 16        ; 16-bit signed input sample
+        ; Four cascaded direct-form-II biquads with small integer
+        ; coefficients; each section's output is clamped to 16 bits.
+        li   r3, ST
+        li   r4, 4
+bq:     lw   r5, 0(r3)         ; z1
+        lw   r6, 4(r3)         ; z2
+        li   r7, 13
+        mul  r7, r7, r2
+        add  r7, r7, r5
+        srai r7, r7, 4         ; y = (13x + z1) >> 4
+        slli r7, r7, 16
+        srai r7, r7, 16        ; clamp to 16 bits
+        li   r8, 7
+        mul  r8, r8, r2
+        add  r8, r8, r6
+        li   r9, 11
+        mul  r9, r9, r7
+        sub  r8, r8, r9
+        sw   r8, 0(r3)         ; z1' = 7x + z2 - 11y
+        li   r9, 3
+        mul  r9, r9, r2
+        li   r10, 5
+        mul  r10, r10, r7
+        sub  r9, r9, r10
+        sw   r9, 4(r3)         ; z2' = 3x - 5y
+        mv   r2, r7            ; cascade
+        addi r3, r3, 8
+        dec  r4
+        bne  r4, r0, bq
+        sw   r2, 48(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "pntrch",
+		Description: "pointer chase: linked-node traversal with data-dependent loads",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ LIST, 0x7000
+        ; Build 64 nodes of (next, value); next = &LIST[(17*i + 5) & 63].
+        li   r1, 0
+b1:     slli r2, r1, 3
+        li   r3, LIST
+        add  r3, r3, r2
+        li   r4, 17
+        mul  r4, r1, r4
+        addi r4, r4, 5
+        andi r4, r4, 63
+        slli r4, r4, 3
+        li   r5, LIST
+        add  r5, r5, r4
+        sw   r5, 0(r3)
+        mul  r6, r1, r1
+        sw   r6, 4(r3)
+        inc  r1
+        li   r7, 64
+        bne  r1, r7, b1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        ; Start node varies with the iteration.
+        andi r1, r12, 63
+        slli r1, r1, 3
+        li   r2, LIST
+        add  r1, r2, r1
+        li   r2, 0             ; checksum
+        li   r3, 48            ; hops
+h1:     lw   r4, 4(r1)
+        add  r2, r2, r4
+        lw   r1, 0(r1)         ; data-dependent next pointer
+        dec  r3
+        bne  r3, r0, h1
+        sw   r2, 52(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "idctrn",
+		Description: "integer transform: 8x8 coefficient matrix times a sensor vector",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ COEF, 0x7400
+        .equ VEC,  0x7600
+        ; Coefficient matrix c[i][j] = ((i+1)*(j+2)) % 16 - 8.
+        li   r1, 0             ; i
+c1:     li   r2, 0             ; j
+c2:     addi r3, r1, 1
+        addi r4, r2, 2
+        mul  r3, r3, r4
+        andi r3, r3, 15
+        addi r3, r3, -8
+        slli r4, r1, 3
+        add  r4, r4, r2
+        slli r4, r4, 2
+        li   r5, COEF
+        add  r5, r5, r4
+        sw   r3, 0(r5)
+        inc  r2
+        li   r6, 8
+        bne  r2, r6, c2
+        inc  r1
+        bne  r1, r6, c1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        ; Load the 8-element input vector from the sensors.
+        li   r1, 0
+v1:     add  r2, r12, r1
+        andi r2, r2, 63
+        slli r2, r2, 2
+        add  r2, r13, r2
+        lw   r3, 0xE00(r2)
+        slli r3, r3, 20
+        srai r3, r3, 20        ; 12-bit signed
+        slli r4, r1, 2
+        li   r5, VEC
+        add  r5, r5, r4
+        sw   r3, 0(r5)
+        inc  r1
+        li   r6, 8
+        bne  r1, r6, v1
+        ; y[i] = sum_j c[i][j] * v[j]; accumulate a checksum of y.
+        li   r1, 0             ; i
+        li   r10, 0            ; checksum
+t1:     li   r2, 0             ; j
+        li   r7, 0             ; acc
+t2:     slli r3, r1, 3
+        add  r3, r3, r2
+        slli r3, r3, 2
+        li   r4, COEF
+        add  r4, r4, r3
+        lw   r4, 0(r4)
+        slli r5, r2, 2
+        li   r8, VEC
+        add  r8, r8, r5
+        lw   r8, 0(r8)
+        mul  r4, r4, r8
+        add  r7, r7, r4
+        inc  r2
+        li   r6, 8
+        bne  r2, r6, t2
+        xor  r10, r10, r7
+        inc  r1
+        bne  r1, r6, t1
+        sw   r10, 56(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+	{
+		Name:        "cacheb",
+		Description: "cache buster: strided read-modify-write sweeps over a 4KB buffer",
+		Source: `
+        .equ EXT,  0x80000000
+        .equ DONE, 0x100
+        .equ BUF,  0x7800
+        ; Seed the 1024-word buffer.
+        li   r1, BUF
+        li   r2, 1024
+        li   r3, 0x1234
+s1:     sw   r3, 0(r1)
+        addi r3, r3, 77
+        addi r1, r1, 4
+        dec  r2
+        bne  r2, r0, s1
+        li   r13, EXT
+        li   r12, 0
+outer:  inc  r12
+        ; Stride varies with the iteration: 1..8 words.
+        andi r1, r12, 7
+        inc  r1
+        slli r1, r1, 2         ; byte stride
+        li   r2, 0             ; offset
+        li   r3, 96            ; accesses per iteration
+        li   r4, 0             ; checksum
+m1:     li   r5, BUF
+        add  r5, r5, r2
+        lw   r6, 0(r5)
+        xor  r7, r6, r12
+        add  r7, r7, r2
+        sw   r7, 0(r5)
+        add  r4, r4, r6
+        add  r2, r2, r1
+        andi r2, r2, 4092      ; wrap within the buffer, word aligned
+        dec  r3
+        bne  r3, r0, m1
+        sw   r4, 60(r13)
+        sw   r12, DONE(r13)
+        j    outer
+`,
+	},
+}

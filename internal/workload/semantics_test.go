@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+// runToHeartbeat executes a kernel on the cycle-accurate CPU until the
+// heartbeat reaches n, returning the memory system for actuator checks.
+func runToHeartbeat(t *testing.T, kernel string, n uint32) *mem.System {
+	t.Helper()
+	k := ByName(kernel)
+	sys, entry, err := k.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(sys, entry)
+	for i := 0; i < 2_000_000; i++ {
+		c.StepCycle()
+		if c.State.Trapped() {
+			t.Fatalf("trap: cause=%d", c.State.ExcCause)
+		}
+		if sys.Ext().Actuator[DoneSlot] == n {
+			return sys
+		}
+	}
+	t.Fatalf("heartbeat %d not reached", n)
+	return nil
+}
+
+const extBase = 0x80000000
+
+// TestRSpeedSemantics re-implements the road-speed kernel in Go and checks
+// the actuator output after N iterations — a semantic oracle independent
+// of both simulators.
+func TestRSpeedSemantics(t *testing.T) {
+	const iters = 10
+	sys := runToHeartbeat(t, "rspeed", iters)
+
+	hist := [8]uint32{}
+	for i := range hist {
+		hist[i] = 1000
+	}
+	head := 0
+	var speed uint32
+	for it := uint32(1); it <= iters; it++ {
+		addr := uint32(extBase) + (it&15)*4 + 0x600
+		period := mem.SensorValue(addr)&8191 + 200
+		hist[head] = period
+		head = (head + 1) & 7
+		var sum uint32
+		for _, p := range hist {
+			sum += p
+		}
+		avg := int32(sum) >> 3
+		speed = uint32(1000000 / avg)
+	}
+	if got := sys.Ext().Actuator[16/4]; got != speed {
+		t.Fatalf("speed actuator = %d, reference model says %d", got, speed)
+	}
+}
+
+// TestPUWModSemantics checks the PWM kernel's duty-cycle outputs against a
+// direct Go computation.
+func TestPUWModSemantics(t *testing.T) {
+	const iters = 7
+	sys := runToHeartbeat(t, "puwmod", iters)
+
+	addr := uint32(extBase) + (uint32(iters)&31)*4 + 0xC00
+	duty := (mem.SensorValue(addr) >> 1) % 100
+	if got := sys.Ext().Actuator[36/4]; got != duty {
+		t.Fatalf("duty actuator = %d, want %d", got, duty)
+	}
+	if got := sys.Ext().Actuator[40/4]; got != duty*100 {
+		t.Fatalf("scaled duty actuator = %d, want %d", got, duty*100)
+	}
+}
+
+// TestTblookSemantics checks the table-lookup kernel's interpolated value
+// against a direct Go re-implementation of the same table and scan.
+func TestTblookSemantics(t *testing.T) {
+	const iters = 9
+	sys := runToHeartbeat(t, "tblook", iters)
+
+	key := func(i int32) int32 { return 4*i*i + i }
+	val := func(i int32) int32 { return 10000 - 3*i*i }
+
+	x := int32(mem.SensorValue(uint32(extBase)+(uint32(iters)&31)*4+0x800) & 4095)
+	idx := int32(0)
+	for idx < 31 && key(idx) < x {
+		idx++
+	}
+	var want int32
+	if idx == 0 {
+		want = val(0)
+	} else {
+		k0, v0 := key(idx-1), val(idx-1)
+		k1, v1 := key(idx), val(idx)
+		want = v0 + (v1-v0)*(x-k0)/(k1-k0+1)
+	}
+	if got := int32(sys.Ext().Actuator[24/4]); got != want {
+		t.Fatalf("tblook actuator = %d, reference model says %d (x=%d idx=%d)",
+			got, want, x, idx)
+	}
+}
+
+// TestMatrixSemantics checks the 6x6 matrix kernel's checksum against a Go
+// matrix multiply with the same fill pattern.
+func TestMatrixSemantics(t *testing.T) {
+	const iters = 3
+	sys := runToHeartbeat(t, "matrix", iters)
+
+	var a, b [36]int32
+	for i := int32(0); i < 36; i++ {
+		a[i] = i*i + 3
+		b[i] = 2*i*i + 7
+	}
+	a[0] = iters // the kernel perturbs A[0] with the iteration count
+	var sum int32
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			var acc int32
+			for k := 0; k < 6; k++ {
+				acc += a[i*6+k] * b[k*6+j]
+			}
+			sum += acc
+		}
+	}
+	if got := int32(sys.Ext().Actuator[44/4]); got != sum {
+		t.Fatalf("matrix checksum = %d, reference model says %d", got, sum)
+	}
+}

@@ -1,0 +1,146 @@
+// Package workload provides the benchmark kernels the fault-injection
+// campaigns run: nine automotive kernels modelled on the EEMBC AutoBench
+// suite the paper uses (tooth-to-spark, road-speed calculation, angle to
+// time, FIR filtering, table lookup with interpolation, bit manipulation,
+// CAN remote-data-request handling, pulse-width modulation and matrix
+// arithmetic). Each kernel is written in SR32 assembly, initialises its
+// tables, then enters an infinite outer loop — exactly the continuous-loop
+// structure the paper describes — reading "operating conditions" from the
+// deterministic external sensor region and writing results to the actuator
+// region through the BIU.
+//
+// Conventions shared by all kernels:
+//   - r13 holds the external peripheral base (0x8000_0000)
+//   - r12 holds the outer-loop iteration counter
+//   - each outer iteration ends with a store of r12 to DONE
+//     (peripheral offset 0x100, actuator slot 0), the heartbeat used to
+//     measure per-iteration and restart latencies
+//   - actuator result slots use offsets 0x004..0x0FC
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"lockstep/internal/asm"
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+// DoneOffset is the peripheral byte offset of the iteration heartbeat.
+const DoneOffset = 0x100
+
+// DoneSlot is the actuator ring slot the heartbeat lands in.
+const DoneSlot = (DoneOffset / 4) % mem.ExtActuatorWords
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	Name        string
+	Description string
+	Source      string
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Preamble is prepended to every kernel: it programs the CPU's memory
+// protection unit the way an ECU boot loader would — region 0 covers the
+// tightly-coupled RAM, region 1 the external peripheral window — so the
+// MPU's configuration registers carry live state during the campaign.
+const Preamble = `
+        .equ MPUWIN, 0xF0000
+        li   r1, MPUWIN
+        li   r2, 0
+        sw   r2, 0(r1)         ; region 0 base: RAM bottom
+        li   r2, 0x3FFFF
+        sw   r2, 4(r1)         ; region 0 limit: RAM top
+        li   r2, 3
+        sw   r2, 8(r1)         ; region 0: enabled, writable
+        li   r2, 0x80000000
+        sw   r2, 16(r1)        ; region 1 base: peripheral window
+        li   r2, -1
+        sw   r2, 20(r1)        ; region 1 limit: top of address space
+        li   r2, 3
+        sw   r2, 24(r1)        ; region 1: enabled, writable
+`
+
+// Program assembles the kernel (once), with the MPU preamble, and returns
+// the image.
+func (k *Kernel) Program() (*asm.Program, error) {
+	k.once.Do(func() { k.prog, k.err = asm.Assemble(Preamble + k.Source) })
+	if k.err != nil {
+		return nil, fmt.Errorf("workload %s: %w", k.Name, k.err)
+	}
+	return k.prog, nil
+}
+
+// NewSystem returns a fresh memory system loaded with the kernel.
+func (k *Kernel) NewSystem() (*mem.System, uint32, error) {
+	prog, err := k.Program()
+	if err != nil {
+		return nil, 0, err
+	}
+	sys := mem.NewSystem()
+	if err := sys.LoadProgram(prog); err != nil {
+		return nil, 0, err
+	}
+	return sys, prog.Entry, nil
+}
+
+// Timing characterises a kernel's golden execution.
+type Timing struct {
+	RestartCycles   int // reset to first completed outer iteration
+	IterationCycles int // steady-state cycles per outer iteration
+}
+
+// MeasureTiming runs the kernel on a golden CPU and measures the restart
+// latency (cycles from reset to the first heartbeat, the paper's "delay in
+// resetting the CPUs and restarting the outer loop") and the steady-state
+// iteration period.
+func (k *Kernel) MeasureTiming(maxCycles int) (Timing, error) {
+	sys, entry, err := k.NewSystem()
+	if err != nil {
+		return Timing{}, err
+	}
+	c := cpu.New(sys, entry)
+	var t Timing
+	firstBeat, lastBeat, beats := 0, 0, uint32(0)
+	for cyc := 1; cyc <= maxCycles; cyc++ {
+		c.StepCycle()
+		if c.State.Trapped() {
+			return Timing{}, fmt.Errorf("workload %s: trapped cause=%d epc=%#x",
+				k.Name, c.State.ExcCause, c.State.EPC)
+		}
+		if hb := sys.Ext().Actuator[DoneSlot]; hb != beats {
+			beats = hb
+			if firstBeat == 0 {
+				firstBeat = cyc
+			}
+			lastBeat = cyc
+			if beats >= 5 {
+				break
+			}
+		}
+	}
+	if beats < 2 {
+		return Timing{}, fmt.Errorf("workload %s: only %d heartbeats in %d cycles",
+			k.Name, beats, maxCycles)
+	}
+	t.RestartCycles = firstBeat
+	t.IterationCycles = (lastBeat - firstBeat) / int(beats-1)
+	return t, nil
+}
+
+// Kernels returns the full benchmark suite in canonical order.
+func Kernels() []*Kernel { return allKernels }
+
+// ByName returns the named kernel, or nil.
+func ByName(name string) *Kernel {
+	for _, k := range allKernels {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}

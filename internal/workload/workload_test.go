@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/iss"
+)
+
+func TestSuiteShape(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 13 {
+		t.Fatalf("suite has %d kernels, want 13", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if k.Name == "" || k.Description == "" {
+			t.Errorf("kernel %q missing metadata", k.Name)
+		}
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+		if ByName(k.Name) != k {
+			t.Errorf("ByName(%q) did not return the kernel", k.Name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName of unknown kernel should be nil")
+	}
+}
+
+func TestKernelsAssemble(t *testing.T) {
+	for _, k := range Kernels() {
+		if _, err := k.Program(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+// TestKernelsRunCleanOnISS checks every kernel executes without traps and
+// produces outer-loop heartbeats at the architectural level.
+func TestKernelsRunCleanOnISS(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sys, entry, err := k.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := iss.New(sys, entry)
+			if _, err := m.Run(120000); err != nil {
+				t.Fatalf("trap: %v", err)
+			}
+			if m.Halted {
+				t.Fatal("kernel halted; outer loop must run forever")
+			}
+			if beats := sys.Ext().Actuator[DoneSlot]; beats < 3 {
+				t.Fatalf("only %d heartbeats after 120k instructions", beats)
+			}
+		})
+	}
+}
+
+// TestKernelsPipelineMatchesISS compares the ordered actuator write stream
+// of the pipelined CPU against the functional simulator for every kernel —
+// a kernel-level differential test of the whole machine.
+func TestKernelsPipelineMatchesISS(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sysI, entry, err := k.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysC, _, err := k.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysI.Ext().TraceCap = 300
+			sysC.Ext().TraceCap = 300
+
+			m := iss.New(sysI, entry)
+			if _, err := m.Run(200000); err != nil {
+				t.Fatalf("iss trap: %v", err)
+			}
+			c := cpu.New(sysC, entry)
+			for i := 0; i < 300000 && len(sysC.Ext().TraceLog) < 300; i++ {
+				c.StepCycle()
+			}
+			if c.State.Trapped() {
+				t.Fatalf("cpu trapped: cause=%d epc=%#x", c.State.ExcCause, c.State.EPC)
+			}
+
+			ti, tc := sysI.Ext().TraceLog, sysC.Ext().TraceLog
+			n := len(ti)
+			if len(tc) < n {
+				n = len(tc)
+			}
+			if n < 20 {
+				t.Fatalf("too few actuator writes to compare: iss=%d cpu=%d", len(ti), len(tc))
+			}
+			for i := 0; i < n; i++ {
+				if ti[i] != tc[i] {
+					t.Fatalf("actuator write %d differs: iss=%+v cpu=%+v", i, ti[i], tc[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMeasureTiming verifies restart and iteration latencies are measurable
+// and non-degenerate, and logs them (these feed Table II's restart range).
+func TestMeasureTiming(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			tm, err := k.MeasureTiming(400000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tm.RestartCycles <= 0 || tm.IterationCycles <= 0 {
+				t.Fatalf("degenerate timing: %+v", tm)
+			}
+			// Restart includes init plus one iteration; for kernels with no
+			// init phase the first iteration's data may be cheaper than
+			// steady state, so allow modest slack.
+			if tm.RestartCycles < tm.IterationCycles/2 {
+				t.Fatalf("restart (%d) implausibly below iteration period (%d)",
+					tm.RestartCycles, tm.IterationCycles)
+			}
+			t.Logf("%s: restart=%d cyc, iteration=%d cyc", k.Name, tm.RestartCycles, tm.IterationCycles)
+		})
+	}
+}
+
+// TestHeartbeatMonotone: the DONE heartbeat strictly increments by one per
+// outer-loop iteration on every kernel.
+func TestHeartbeatMonotone(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			sys, entry, err := k.NewSystem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cpu.New(sys, entry)
+			last := uint32(0)
+			for i := 0; i < 100000 && last < 5; i++ {
+				c.StepCycle()
+				hb := sys.Ext().Actuator[DoneSlot]
+				if hb != last {
+					if hb != last+1 {
+						t.Fatalf("heartbeat jumped %d -> %d", last, hb)
+					}
+					last = hb
+				}
+			}
+			if last < 5 {
+				t.Fatalf("only %d heartbeats in 100k cycles", last)
+			}
+		})
+	}
+}
