@@ -1,0 +1,33 @@
+# CI entry points. `make ci` is the gate: vet, build, the full test suite
+# under the race detector, and the campaign determinism check (a serial vs
+# workers=4 Small-scale campaign must be byte-identical).
+GO ?= go
+
+.PHONY: ci vet build test race determinism bench fuzz
+
+ci: vet build race determinism
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The worker-count-invariance contract, explicitly and under -race: the
+# sharded campaign must reproduce the serial dataset bit for bit.
+determinism:
+	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial' -count=1 \
+		./internal/inject/ ./internal/lockstep/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Short fuzz pass over the campaign-log parser.
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/

@@ -14,7 +14,9 @@
 package lockstep_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -311,21 +313,37 @@ func BenchmarkInjectionExperiment(b *testing.B) {
 	}
 }
 
-// BenchmarkCampaign measures end-to-end campaign throughput
-// (experiments per second).
+// BenchmarkCampaign measures end-to-end campaign throughput (experiments
+// per second) at several worker-pool sizes. The dataset is worker-count-
+// invariant, so the sub-benchmarks are directly comparable: on a multicore
+// host workers=4 should deliver several times the workers=1 throughput
+// (the Default-scale campaign shards the same way, just with more
+// experiments per shard).
 func BenchmarkCampaign(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, err := inject.Run(inject.Config{
-			Kernels:               []string{"puwmod"},
-			RunCycles:             4000,
-			Intervals:             64,
-			InjectionsPerFlopKind: 1,
-			FlopStride:            64,
-			Seed:                  int64(i),
+	pools := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		pools = append(pools, n)
+	}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var st inject.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, st, err = inject.RunStats(inject.Config{
+					Kernels:               []string{"puwmod", "rspeed"},
+					RunCycles:             4000,
+					Intervals:             64,
+					InjectionsPerFlopKind: 1,
+					FlopStride:            16,
+					Seed:                  int64(i),
+					Workers:               workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(st.PerSec, "exp/s")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 

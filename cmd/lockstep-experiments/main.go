@@ -7,7 +7,11 @@
 //
 //	lockstep-experiments [-scale small|default|full] [-exp all|table1|...]
 //	                     [-data campaign.csv] [-save campaign.csv]
-//	                     [-html report.html] [-quiet]
+//	                     [-html report.html] [-workers N] [-quiet]
+//
+// The campaign shards across -workers parallel executors (default: all
+// CPUs). The dataset is bit-identical for every worker count, so -workers
+// only changes wall-clock time; the throughput line reports it.
 //
 // Experiments: table1 units table2 table3 table4 fig4 fig5 fig11 fig12
 // fig13 fig14 fig15 fig16 onoffchip lbist spread ablation window summary
@@ -27,6 +31,7 @@ import (
 
 	"lockstep/internal/dataset"
 	"lockstep/internal/experiments"
+	"lockstep/internal/inject"
 	"lockstep/internal/report"
 	"lockstep/internal/sbist"
 
@@ -40,20 +45,24 @@ func main() {
 		dataPath  = flag.String("data", "", "load campaign log from CSV instead of re-running")
 		savePath  = flag.String("save", "", "save the campaign log to CSV")
 		htmlPath  = flag.String("html", "", "also write a self-contained HTML report with SVG charts")
+		workers   = flag.Int("workers", 0, "parallel campaign workers (0 = all CPUs)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *quiet); err != nil {
+	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expList, dataPath, savePath, htmlPath string, quiet bool) error {
+func run(scaleName, expList, dataPath, savePath, htmlPath string, workers int, quiet bool) error {
 	scale, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
+	}
+	if workers > 0 {
+		scale = scale.WithWorkers(workers)
 	}
 
 	var ctx *experiments.Context
@@ -90,9 +99,13 @@ func run(scaleName, expList, dataPath, savePath, htmlPath string, quiet bool) er
 			fmt.Fprintf(os.Stderr, "running %s campaign (%d experiments)...\n",
 				scale.Name, scale.Config().Total())
 		}
-		ctx, err = experiments.NewContext(scale, progress)
+		var st inject.Stats
+		ctx, st, err = experiments.NewContextStats(scale, progress)
 		if err != nil {
 			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "campaign throughput: %s\n", st)
 		}
 	}
 

@@ -43,10 +43,10 @@ func TestRunFromDataAllExperiments(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
 
-	if err := run("small", "all", path, "", "", true); err != nil {
+	if err := run("small", "all", path, "", "", 0, true); err != nil {
 		t.Fatalf("run all: %v", err)
 	}
-	if err := run("small", "table1,fig12", path, "", "", true); err != nil {
+	if err := run("small", "table1,fig12", path, "", "", 0, true); err != nil {
 		t.Fatalf("run subset: %v", err)
 	}
 }
@@ -62,7 +62,7 @@ func TestRunSaveRoundTrip(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table2", path, save, "", true); err != nil {
+	if err := run("small", "table2", path, save, "", 0, true); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(path)
@@ -89,7 +89,7 @@ func TestRunWritesHTMLReport(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table1", path, "", html, true); err != nil {
+	if err := run("small", "table1", path, "", html, 0, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(html)
@@ -102,10 +102,10 @@ func TestRunWritesHTMLReport(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus-scale", "all", "", "", "", true); err == nil {
+	if err := run("bogus-scale", "all", "", "", "", 0, true); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", true); err == nil {
+	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", 0, true); err == nil {
 		t.Fatal("missing data file accepted")
 	}
 	path := writeSmallCampaign(t)
@@ -113,7 +113,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
-	if err := run("small", "nosuchexperiment", path, "", "", true); err == nil {
+	if err := run("small", "nosuchexperiment", path, "", "", 0, true); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

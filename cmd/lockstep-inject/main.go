@@ -7,7 +7,10 @@
 // Usage:
 //
 //	lockstep-inject [-o campaign.csv] [-kernels a,b] [-cycles N]
-//	                [-stride N] [-inj N] [-seed N] [-summary]
+//	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
+//
+// The campaign is sharded over -workers parallel executors (default: all
+// CPUs); the output is bit-identical for every worker count.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 		stride  = flag.Int("stride", 1, "inject every Nth flip-flop")
 		perKind = flag.Int("inj", 1, "injections per (flop, fault kind, kernel)")
 		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "parallel experiment workers (0 = all CPUs)")
 		summary = flag.Bool("summary", true, "print a campaign summary to stderr")
 	)
 	flag.Parse()
@@ -38,6 +42,7 @@ func main() {
 		InjectionsPerFlopKind: *perKind,
 		FlopStride:            *stride,
 		Seed:                  *seed,
+		Workers:               *workers,
 	}
 	if *kernels != "" {
 		for _, k := range strings.Split(*kernels, ",") {
@@ -53,7 +58,7 @@ func main() {
 		}
 	}
 
-	ds, err := inject.Run(cfg)
+	ds, st, err := inject.RunStats(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
 		os.Exit(1)
@@ -84,5 +89,6 @@ func main() {
 			"campaign: %d experiments, %d manifested (%.1f%%), %d distinct diverged SC sets, manifestation time %s cyc\n",
 			ds.Len(), man.Len(), 100*float64(man.Len())/float64(ds.Len()),
 			ds.DistinctDSRs(), stats.SummarizeInts(times))
+		fmt.Fprintf(os.Stderr, "throughput: %s\n", st)
 	}
 }

@@ -243,6 +243,13 @@ func New(bus mem.Bus, entry uint32) *CPU {
 // StepCycle advances the CPU by one clock cycle.
 func (c *CPU) StepCycle() { Step(&c.State, c.Bus) }
 
+// Fork returns a new CPU whose flop state is a bit-identical copy of c,
+// executing against bus. State is a plain value so the copy shares nothing
+// with the original; the lockstep harness uses this to bring up redundant
+// CPUs mid-run and the campaign driver to replicate golden state into
+// per-experiment simulator instances on concurrent workers.
+func (c *CPU) Fork(bus mem.Bus) *CPU { return &CPU{State: c.State, Bus: bus} }
+
 // Run steps until the CPU halts and drains, or maxCycles elapse, returning
 // the number of cycles executed.
 func (c *CPU) Run(maxCycles int) int {

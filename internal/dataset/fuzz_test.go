@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lockstep/internal/lockstep"
+	"lockstep/internal/units"
+)
+
+// FuzzReadCSV hammers the campaign-log parser with corrupted inputs:
+// malformed files must produce a clean error, never a panic, and anything
+// that parses must survive a write/re-read round trip.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with genuine WriteCSV output...
+	ds := &Dataset{Records: []Record{
+		{Kernel: "ttsprk", Flop: 0, Unit: 0, Fine: 0, Kind: lockstep.SoftFlip,
+			InjectCycle: 10, Detected: true, DetectCycle: 25, DSR: 0x5},
+		{Kernel: "rspeed", Flop: 911, Unit: units.NumUnits - 1, Fine: units.NumFine - 1,
+			Kind: lockstep.Stuck1, InjectCycle: 4000, Detected: false, Converged: true},
+	}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// ...and hand-picked corruptions.
+	f.Add([]byte(""))
+	f.Add([]byte(csvHeader))
+	f.Add([]byte(csvHeader + "\n"))
+	f.Add([]byte("not,a,header\n"))
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false\n"))
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25\n"))          // short row
+	f.Add([]byte(csvHeader + "\nttsprk,x,0,0,0,10,true,25,5,false\n"))  // bad int
+	f.Add([]byte(csvHeader + "\nttsprk,0,99,0,0,10,true,25,5,false\n")) // unit out of range
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,7,10,true,25,5,false\n"))  // kind out of range
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,maybe,25,5,false\n")) // bad bool
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,zz,false\n")) // bad hex
+	f.Add([]byte(csvHeader + "\nttsprk,-1,0,0,0,-10,true,-25,ffffffffffffffff,false\n"))
+	f.Add([]byte(csvHeader + "\n\n\n" + strings.Repeat(",", 9) + "\n"))
+	f.Add(bytes.Repeat([]byte("a"), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			if ds != nil {
+				t.Fatal("non-nil dataset alongside error")
+			}
+			return
+		}
+		// Whatever parsed must re-serialize and re-parse losslessly in
+		// count (fields are canonicalized on write, so values may differ
+		// only in formatting, never in arity).
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-serialize of parsed dataset failed: %v", err)
+		}
+		rt, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip of parsed dataset failed: %v", err)
+		}
+		if rt.Len() != ds.Len() {
+			t.Fatalf("round trip changed record count: %d -> %d", ds.Len(), rt.Len())
+		}
+		// Aggregations must not panic on any parsed dataset.
+		_ = ds.Manifested()
+		_ = ds.ByUnit(true)
+		_ = ds.ByFine(false)
+		_ = ds.DistinctDSRs()
+	})
+}

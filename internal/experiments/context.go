@@ -28,6 +28,15 @@ type Scale struct {
 	FlopStride     int      // 1 = every flip-flop
 	InjPerFlopKind int      // injections per (flop, kind, kernel)
 	Seed           int64
+	Workers        int // campaign worker pool; 0 = runtime.NumCPU()
+}
+
+// WithWorkers returns a copy of the scale with the campaign worker count
+// overridden. The campaign dataset is worker-count-invariant, so this only
+// changes wall-clock time.
+func (s Scale) WithWorkers(n int) Scale {
+	s.Workers = n
+	return s
 }
 
 // Predefined scales.
@@ -83,6 +92,7 @@ func (s Scale) Config() inject.Config {
 		InjectionsPerFlopKind: s.InjPerFlopKind,
 		FlopStride:            s.FlopStride,
 		Seed:                  s.Seed,
+		Workers:               s.Workers,
 	}
 }
 
@@ -104,13 +114,21 @@ const NumFolds = 5
 // NewContext runs the campaign and timing measurements for the scale.
 // progress (optional) receives campaign progress.
 func NewContext(s Scale, progress func(done, total int)) (*Context, error) {
+	ctx, _, err := NewContextStats(s, progress)
+	return ctx, err
+}
+
+// NewContextStats is NewContext plus the campaign's wall-clock and
+// throughput accounting (experiments/sec across the worker pool).
+func NewContextStats(s Scale, progress func(done, total int)) (*Context, inject.Stats, error) {
 	cfg := s.Config()
 	cfg.Progress = progress
-	ds, err := inject.Run(cfg)
+	ds, st, err := inject.RunStats(cfg)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return NewContextFromData(s, ds)
+	ctx, err := NewContextFromData(s, ds)
+	return ctx, st, err
 }
 
 // NewContextFromData builds a context around an existing dataset (e.g.

@@ -8,11 +8,20 @@
 // campaign size here is a Config knob with the same structure (full flop
 // coverage x 3 fault kinds x intervals x benchmarks) so the methodology is
 // identical and only the sample count scales.
+//
+// Campaigns are executed in two phases. First the whole experiment plan is
+// enumerated (see Plan): every injection's coordinates and cycle are fixed
+// up front from Config.Seed alone. Then the plan is sharded across a pool
+// of workers, each experiment replaying against a read-only per-kernel
+// golden run, and records land at their plan index — so the dataset is
+// bit-identical for any worker count, including a serial run.
 package inject
 
 import (
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sync"
+	"time"
 
 	"lockstep/internal/cpu"
 	"lockstep/internal/dataset"
@@ -44,7 +53,14 @@ type Config struct {
 	StopLatency int
 	// Seed makes the campaign reproducible.
 	Seed int64
+	// Workers is the number of parallel experiment executors; 0 or
+	// negative means runtime.NumCPU(). The resulting dataset is identical
+	// for every worker count (the plan fixes each experiment's schedule
+	// and records merge back in plan order).
+	Workers int
 	// Progress, if non-nil, receives (done, total) experiment counts.
+	// Calls are serialized and done is strictly increasing 1..total, even
+	// when experiments complete out of order across workers.
 	Progress func(done, total int)
 }
 
@@ -73,6 +89,9 @@ func (c *Config) normalize() error {
 	if c.FlopStride <= 0 {
 		c.FlopStride = 1
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip, lockstep.Stuck0, lockstep.Stuck1}
 	}
@@ -98,80 +117,147 @@ func (c Config) Total() int {
 	return len(c.Kernels) * flops * len(c.Kinds) * c.InjectionsPerFlopKind
 }
 
+// Stats reports how a campaign ran.
+type Stats struct {
+	Experiments int           // experiments executed
+	Workers     int           // worker pool size used
+	Elapsed     time.Duration // wall clock, golden runs included
+	PerSec      float64       // experiments per wall-clock second
+}
+
+// String renders the stats one-line, for CLI summaries.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d experiments in %v with %d worker(s) (%.0f exp/s)",
+		s.Experiments, s.Elapsed.Round(time.Millisecond), s.Workers, s.PerSec)
+}
+
 // Run executes the campaign and returns the full experiment log.
 func Run(cfg Config) (*dataset.Dataset, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	total := cfg.Total()
-	done := 0
-	ds := &dataset.Dataset{Records: make([]dataset.Record, 0, total)}
+	ds, _, err := RunStats(cfg)
+	return ds, err
+}
 
-	intervalLen := cfg.RunCycles / cfg.Intervals
-	if intervalLen < 1 {
-		intervalLen = 1
+// RunStats is Run plus wall-clock/throughput accounting.
+func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
+	start := time.Now()
+	if err := cfg.normalize(); err != nil {
+		return nil, Stats{}, err
 	}
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	goldens, err := buildGoldens(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	window := cfg.StopLatency
+	if window <= 0 {
+		window = lockstep.StopLatency
+	}
+	workers := cfg.Workers
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Records land at their plan index, so the merged dataset is in
+	// canonical plan order no matter which worker ran which experiment.
+	records := make([]dataset.Record, len(plan))
+	total := len(plan)
+	var (
+		done     int
+		progMu   sync.Mutex
+		progress = func() {
+			if cfg.Progress == nil {
+				return
+			}
+			progMu.Lock()
+			done++
+			cfg.Progress(done, total)
+			progMu.Unlock()
+		}
+	)
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				e := plan[idx]
+				inj := lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}
+				out := goldens[e.Kernel].InjectW(inj, window)
+				records[idx] = dataset.Record{
+					Kernel:      e.Kernel,
+					Flop:        e.Flop,
+					Unit:        cpu.FlopUnit(e.Flop),
+					Fine:        cpu.FlopFine(e.Flop),
+					Kind:        e.Kind,
+					InjectCycle: e.Cycle,
+					Detected:    out.Detected,
+					DetectCycle: out.DetectCycle,
+					DSR:         out.DSR,
+					Converged:   out.Converged,
+				}
+				progress()
+			}
+		}()
+	}
+	for idx := range plan {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	st := Stats{Experiments: total, Workers: workers, Elapsed: elapsed}
+	if secs := elapsed.Seconds(); secs > 0 {
+		st.PerSec = float64(total) / secs
+	}
+	return &dataset.Dataset{Records: records}, st, nil
+}
+
+// buildGoldens records one fault-free golden run per kernel, in parallel
+// (each golden is an independent simulation). The returned goldens are
+// immutable and shared read-only by all experiment workers.
+func buildGoldens(cfg Config) (map[string]*lockstep.Golden, error) {
 	snapEvery := cfg.RunCycles / 16
 	if snapEvery < 1 {
 		snapEvery = 1
 	}
-
-	for _, name := range cfg.Kernels {
-		k := workload.ByName(name)
-		g, err := lockstep.NewGolden(k, cfg.RunCycles, snapEvery)
+	goldens := make(map[string]*lockstep.Golden, len(cfg.Kernels))
+	errs := make([]error, len(cfg.Kernels))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	sem := make(chan struct{}, cfg.Workers)
+	for i, name := range cfg.Kernels {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			g, err := lockstep.NewGolden(workload.ByName(name), cfg.RunCycles, snapEvery)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			goldens[name] = g
+			mu.Unlock()
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		for flop := 0; flop < cpu.NumFlops(); flop += cfg.FlopStride {
-			for _, kind := range cfg.Kinds {
-				// A per-(kernel, flop, kind) RNG keeps each experiment's
-				// injection points independent of campaign iteration order.
-				rng := rand.New(rand.NewSource(mix(cfg.Seed, name, flop, int(kind))))
-				intervals := rng.Perm(cfg.Intervals)
-				for n := 0; n < cfg.InjectionsPerFlopKind; n++ {
-					iv := intervals[n%cfg.Intervals]
-					cycle := iv*intervalLen + rng.Intn(intervalLen)
-					if cycle >= cfg.RunCycles {
-						cycle = cfg.RunCycles - 1
-					}
-					inj := lockstep.Injection{Flop: flop, Kind: kind, Cycle: cycle}
-					window := cfg.StopLatency
-					if window <= 0 {
-						window = lockstep.StopLatency
-					}
-					out := g.InjectW(inj, window)
-					ds.Records = append(ds.Records, dataset.Record{
-						Kernel:      name,
-						Flop:        flop,
-						Unit:        cpu.FlopUnit(flop),
-						Fine:        cpu.FlopFine(flop),
-						Kind:        kind,
-						InjectCycle: cycle,
-						Detected:    out.Detected,
-						DetectCycle: out.DetectCycle,
-						DSR:         out.DSR,
-						Converged:   out.Converged,
-					})
-					done++
-					if cfg.Progress != nil {
-						cfg.Progress(done, total)
-					}
-				}
-			}
-		}
 	}
-	return ds, nil
-}
-
-// mix derives a stable 64-bit seed from the campaign seed and experiment
-// coordinates (FNV-style).
-func mix(seed int64, kernel string, flop, kind int) int64 {
-	h := uint64(seed)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3
-	for _, b := range []byte(kernel) {
-		h = (h ^ uint64(b)) * 0x100000001B3
-	}
-	h = (h ^ uint64(flop)) * 0x100000001B3
-	h = (h ^ uint64(kind)) * 0x100000001B3
-	h ^= h >> 29
-	return int64(h)
+	return goldens, nil
 }

@@ -1,0 +1,221 @@
+package inject
+
+import (
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/workload"
+)
+
+// TestPlanEnumeration drives Plan through its Config knobs, including the
+// edge cases: stride larger than the flop count, an empty kernel list
+// (full suite), a kind filter, and a single injection interval.
+func TestPlanEnumeration(t *testing.T) {
+	nf := cpu.NumFlops()
+	suite := len(workload.Kernels())
+	tests := []struct {
+		name      string
+		cfg       Config
+		wantLen   int
+		wantFlops []int // exact distinct flops, if non-nil
+		wantKinds []lockstep.FaultKind
+		wantKerns []string // exact kernel visit order, if non-nil
+	}{
+		{
+			name: "stride exceeds flop count",
+			cfg: Config{
+				Kernels:    []string{"ttsprk"},
+				FlopStride: nf + 1,
+			},
+			wantLen:   3, // one flop x three kinds x one injection
+			wantFlops: []int{0},
+		},
+		{
+			name:    "empty kernel list means full suite",
+			cfg:     Config{FlopStride: nf}, // one flop per kernel to stay small
+			wantLen: suite * 3,
+		},
+		{
+			name: "kind filter",
+			cfg: Config{
+				Kernels:    []string{"ttsprk"},
+				FlopStride: 64,
+				Kinds:      []lockstep.FaultKind{lockstep.Stuck0},
+			},
+			wantLen:   (nf + 63) / 64,
+			wantKinds: []lockstep.FaultKind{lockstep.Stuck0},
+		},
+		{
+			name: "kernel filter preserves config order",
+			cfg: Config{
+				Kernels:    []string{"rspeed", "ttsprk"},
+				FlopStride: nf,
+			},
+			wantLen:   2 * 3,
+			wantKerns: []string{"rspeed", "ttsprk"},
+		},
+		{
+			name: "single interval",
+			cfg: Config{
+				Kernels:               []string{"puwmod"},
+				RunCycles:             500,
+				Intervals:             1,
+				InjectionsPerFlopKind: 3,
+				FlopStride:            128,
+			},
+			wantLen: ((nf + 127) / 128) * 3 * 3,
+		},
+		{
+			name: "injections exceed interval count wraps",
+			cfg: Config{
+				Kernels:               []string{"puwmod"},
+				RunCycles:             800,
+				Intervals:             2,
+				InjectionsPerFlopKind: 5,
+				FlopStride:            nf,
+			},
+			wantLen: 3 * 5,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := tc.cfg.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plan) != tc.wantLen {
+				t.Fatalf("plan has %d experiments, want %d", len(plan), tc.wantLen)
+			}
+			if got := tc.cfg.Total(); got != len(plan) {
+				t.Fatalf("Total()=%d but plan has %d experiments", got, len(plan))
+			}
+			cfg := tc.cfg
+			if err := cfg.normalize(); err != nil {
+				t.Fatal(err)
+			}
+			for i, e := range plan {
+				if e.Cycle < 0 || e.Cycle >= cfg.RunCycles {
+					t.Fatalf("experiment %d: cycle %d outside [0,%d)", i, e.Cycle, cfg.RunCycles)
+				}
+				if e.Flop%cfg.FlopStride != 0 {
+					t.Fatalf("experiment %d: flop %d off the stride-%d grid", i, e.Flop, cfg.FlopStride)
+				}
+			}
+			if tc.wantFlops != nil {
+				seen := map[int]bool{}
+				for _, e := range plan {
+					seen[e.Flop] = true
+				}
+				if len(seen) != len(tc.wantFlops) {
+					t.Fatalf("plan covers %d flops, want %d", len(seen), len(tc.wantFlops))
+				}
+				for _, f := range tc.wantFlops {
+					if !seen[f] {
+						t.Fatalf("flop %d missing from plan", f)
+					}
+				}
+			}
+			if tc.wantKinds != nil {
+				for i, e := range plan {
+					ok := false
+					for _, k := range tc.wantKinds {
+						if e.Kind == k {
+							ok = true
+						}
+					}
+					if !ok {
+						t.Fatalf("experiment %d has filtered-out kind %v", i, e.Kind)
+					}
+				}
+			}
+			if tc.wantKerns != nil {
+				var order []string
+				for _, e := range plan {
+					if len(order) == 0 || order[len(order)-1] != e.Kernel {
+						order = append(order, e.Kernel)
+					}
+				}
+				if len(order) != len(tc.wantKerns) {
+					t.Fatalf("kernel visit order %v, want %v", order, tc.wantKerns)
+				}
+				for i := range order {
+					if order[i] != tc.wantKerns[i] {
+						t.Fatalf("kernel visit order %v, want %v", order, tc.wantKerns)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanIntervalAssignment: while a (kernel, flop, kind) group has fewer
+// injections than intervals, each lands in a distinct interval (the
+// paper's "distinct randomly chosen interval" sampling).
+func TestPlanIntervalAssignment(t *testing.T) {
+	cfg := Config{
+		Kernels:               []string{"ttsprk"},
+		RunCycles:             6400,
+		Intervals:             8,
+		InjectionsPerFlopKind: 8,
+		FlopStride:            256,
+	}
+	plan, err := cfg.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	intervalLen := cfg.RunCycles / cfg.Intervals
+	type group struct {
+		flop int
+		kind lockstep.FaultKind
+	}
+	used := map[group]map[int]bool{}
+	for _, e := range plan {
+		g := group{e.Flop, e.Kind}
+		if used[g] == nil {
+			used[g] = map[int]bool{}
+		}
+		iv := e.Cycle / intervalLen
+		if used[g][iv] {
+			t.Fatalf("group %+v: interval %d assigned twice", g, iv)
+		}
+		used[g][iv] = true
+	}
+	for g, ivs := range used {
+		if len(ivs) != cfg.Intervals {
+			t.Fatalf("group %+v: %d distinct intervals, want %d", g, len(ivs), cfg.Intervals)
+		}
+	}
+}
+
+// TestPlanDeterminism: the plan is a pure function of the campaign
+// parameters — repeated enumeration and a different worker count give the
+// identical schedule.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Kernels: []string{"rspeed"}, FlopStride: 32, Seed: 42}
+	a, err := cfg.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7 // execution-only knob; must not alter the schedule
+	b, err := cfg.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("experiment %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPlanUnknownKernel: enumeration surfaces config errors.
+func TestPlanUnknownKernel(t *testing.T) {
+	cfg := Config{Kernels: []string{"nosuch"}}
+	if _, err := cfg.Plan(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}

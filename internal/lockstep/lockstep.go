@@ -71,6 +71,13 @@ func (o Outcome) ManifestationCycles(inj Injection) int {
 
 // Golden is a recorded fault-free execution of one kernel with periodic
 // state snapshots, shared by all injections into that kernel.
+//
+// A Golden is immutable once NewGolden returns: Inject and InjectW build
+// fresh simulator instances (memory system, main CPU, redundant CPU) from
+// the snapshots on every call and never write back, so concurrent
+// injections against one shared Golden are safe and produce outcomes
+// identical to serial execution. Callers that want hard isolation anyway
+// (e.g. per-worker instances) can Clone.
 type Golden struct {
 	Kernel      *workload.Kernel
 	Entry       uint32
@@ -120,6 +127,21 @@ func (g *Golden) snap(c *cpu.CPU, sys *mem.System, cycle int) {
 	})
 }
 
+// Clone returns an independent deep copy of the golden run: the snapshot
+// RAM images are copied, so injections against the clone share no memory
+// with the original. Cloning is much cheaper than re-recording the golden
+// run (a memcpy per snapshot instead of a full cycle-accurate simulation).
+func (g *Golden) Clone() *Golden {
+	out := &Golden{Kernel: g.Kernel, Entry: g.Entry, TotalCycles: g.TotalCycles}
+	out.snaps = make([]snapshot, len(g.snaps))
+	for i, s := range g.snaps {
+		ram := make([]uint32, len(s.ram))
+		copy(ram, s.ram)
+		out.snaps[i] = snapshot{cycle: s.cycle, cpu: s.cpu, ram: ram, ext: s.ext}
+	}
+	return out
+}
+
 // restore returns a fresh system and golden CPU positioned at the latest
 // snapshot at or before cycle, plus that snapshot's cycle number.
 func (g *Golden) restore(cycle int) (*mem.System, *cpu.CPU, int) {
@@ -166,7 +188,7 @@ func (g *Golden) InjectW(inj Injection, window int) Outcome {
 	for ; cyc < inj.Cycle; cyc++ {
 		main.StepCycle()
 	}
-	red := cpu.CPU{State: main.State, Bus: mem.Monitor{Sys: sys}}
+	red := main.Fork(mem.Monitor{Sys: sys})
 
 	// Apply the fault after the injection-cycle clock edge. A soft fault
 	// inverts the flop for exactly one cycle — per Section III-B, "its

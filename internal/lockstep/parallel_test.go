@@ -1,0 +1,86 @@
+package lockstep
+
+import (
+	"sync"
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/workload"
+)
+
+// TestConcurrentInjectMatchesSerial verifies the Golden immutability
+// contract the parallel campaign driver relies on: many goroutines
+// injecting against one shared Golden produce exactly the outcomes a
+// serial loop produces. Run under -race this doubles as the data-race
+// check for golden sharing.
+func TestConcurrentInjectMatchesSerial(t *testing.T) {
+	k := workload.ByName("puwmod")
+	g, err := NewGolden(k, 4000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var injs []Injection
+	for flop := 0; flop < cpu.NumFlops(); flop += 97 {
+		for kind := FaultKind(0); kind < NumFaultKinds; kind++ {
+			injs = append(injs, Injection{Flop: flop, Kind: kind, Cycle: 100 + 37*flop%3500})
+		}
+	}
+
+	serial := make([]Outcome, len(injs))
+	for i, inj := range injs {
+		serial[i] = g.Inject(inj)
+	}
+
+	conc := make([]Outcome, len(injs))
+	var wg sync.WaitGroup
+	for i := range injs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc[i] = g.Inject(injs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range injs {
+		if serial[i] != conc[i] {
+			t.Fatalf("injection %+v: serial outcome %+v != concurrent %+v",
+				injs[i], serial[i], conc[i])
+		}
+	}
+}
+
+// TestGoldenClone: a clone is fully independent (injections against it
+// match the original, and neither observes the other's runs).
+func TestGoldenClone(t *testing.T) {
+	k := workload.ByName("ttsprk")
+	g, err := NewGolden(k, 3000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	if c.Kernel != g.Kernel || c.Entry != g.Entry || c.TotalCycles != g.TotalCycles {
+		t.Fatal("clone metadata differs")
+	}
+	if len(c.snaps) != len(g.snaps) {
+		t.Fatalf("clone has %d snapshots, original %d", len(c.snaps), len(g.snaps))
+	}
+	for i := range g.snaps {
+		if &c.snaps[i].ram[0] == &g.snaps[i].ram[0] {
+			t.Fatalf("snapshot %d RAM aliases the original", i)
+		}
+	}
+	injs := []Injection{
+		{Flop: 3, Kind: SoftFlip, Cycle: 700},
+		{Flop: 200, Kind: Stuck1, Cycle: 1500},
+		{Flop: 451, Kind: Stuck0, Cycle: 2200},
+	}
+	for _, inj := range injs {
+		a := g.Inject(inj)
+		b := c.Inject(inj)
+		if a != b {
+			t.Fatalf("injection %+v: original %+v != clone %+v", inj, a, b)
+		}
+	}
+}
