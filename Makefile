@@ -1,11 +1,12 @@
 # CI entry points. `make ci` is the gate: vet, build, the full test suite
-# under the race detector, and the campaign determinism check (a serial vs
-# workers=4 Small-scale campaign must be byte-identical).
+# under the race detector, the campaign determinism check (a serial vs
+# workers=4 Small-scale campaign must be byte-identical), and the
+# telemetry concurrency tests under -race.
 GO ?= go
 
-.PHONY: ci vet build test race determinism bench fuzz
+.PHONY: ci vet build test race determinism telemetry cover bench fuzz
 
-ci: vet build race determinism
+ci: vet build race determinism telemetry
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +25,23 @@ race:
 determinism:
 	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial' -count=1 \
 		./internal/inject/ ./internal/lockstep/
+
+# The telemetry layer's own contract, under -race: exact totals from
+# NumCPU hammering goroutines, monotone histogram buckets, and
+# byte-deterministic snapshots.
+telemetry:
+	$(GO) test -race -count=1 ./internal/telemetry/
+
+# Coverage report with a per-package floor: internal/telemetry is the
+# observability backbone and must stay >= 60% statement-covered.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+	@pct=$$($(GO) test -cover ./internal/telemetry/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+	if [ -z "$$pct" ]; then echo "cover: could not measure internal/telemetry coverage"; exit 1; fi; \
+	ok=$$(awk -v p="$$pct" 'BEGIN { print (p >= 60) ? 1 : 0 }'); \
+	if [ "$$ok" != "1" ]; then echo "cover: internal/telemetry $$pct% below the 60% floor"; exit 1; fi; \
+	echo "cover: internal/telemetry $$pct% (floor 60%)"
 
 bench:
 	$(GO) test -bench=. -benchmem

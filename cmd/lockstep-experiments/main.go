@@ -8,6 +8,7 @@
 //	lockstep-experiments [-scale small|default|full] [-exp all|table1|...]
 //	                     [-data campaign.csv] [-save campaign.csv]
 //	                     [-html report.html] [-workers N] [-quiet]
+//	                     [-metrics snapshot.json] [-pprof addr]
 //
 // The campaign shards across -workers parallel executors (default: all
 // CPUs). The dataset is bit-identical for every worker count, so -workers
@@ -34,6 +35,7 @@ import (
 	"lockstep/internal/inject"
 	"lockstep/internal/report"
 	"lockstep/internal/sbist"
+	"lockstep/internal/telemetry"
 
 	"lockstep/internal/core"
 )
@@ -47,16 +49,27 @@ func main() {
 		htmlPath  = flag.String("html", "", "also write a self-contained HTML report with SVG charts")
 		workers   = flag.Int("workers", 0, "parallel campaign workers (0 = all CPUs)")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
-	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *workers, *quiet); err != nil {
+	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *metrics, *pprofAddr, *workers, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expList, dataPath, savePath, htmlPath string, workers int, quiet bool) error {
+func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAddr string, workers int, quiet bool) error {
+	if pprofAddr != "" {
+		url, err := telemetry.ServeDebug(pprofAddr)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "debug server: %s/debug/pprof/ (metrics at /debug/vars)\n", url)
+		}
+	}
 	scale, err := experiments.ScaleByName(scaleName)
 	if err != nil {
 		return err
@@ -96,8 +109,12 @@ func run(scaleName, expList, dataPath, savePath, htmlPath string, workers int, q
 			}
 		}
 		if !quiet {
+			total, err := scale.Config().Total()
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(os.Stderr, "running %s campaign (%d experiments)...\n",
-				scale.Name, scale.Config().Total())
+				scale.Name, total)
 		}
 		var st inject.Stats
 		ctx, st, err = experiments.NewContextStats(scale, progress)
@@ -238,5 +255,26 @@ func run(scaleName, expList, dataPath, savePath, htmlPath string, workers int, q
 	if !ran {
 		return fmt.Errorf("no known experiment in %q", expList)
 	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("wrote telemetry snapshot to %s\n", metricsPath)
+		}
+	}
 	return nil
+}
+
+// writeMetrics dumps the default telemetry registry as indented JSON.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

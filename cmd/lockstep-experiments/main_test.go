@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"lockstep/internal/experiments"
 	"lockstep/internal/inject"
+	"lockstep/internal/telemetry"
 )
 
 // writeSmallCampaign saves a tiny campaign log for CLI tests.
@@ -43,10 +45,10 @@ func TestRunFromDataAllExperiments(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
 
-	if err := run("small", "all", path, "", "", 0, true); err != nil {
+	if err := run("small", "all", path, "", "", "", "", 0, true); err != nil {
 		t.Fatalf("run all: %v", err)
 	}
-	if err := run("small", "table1,fig12", path, "", "", 0, true); err != nil {
+	if err := run("small", "table1,fig12", path, "", "", "", "", 0, true); err != nil {
 		t.Fatalf("run subset: %v", err)
 	}
 }
@@ -62,7 +64,7 @@ func TestRunSaveRoundTrip(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table2", path, save, "", 0, true); err != nil {
+	if err := run("small", "table2", path, save, "", "", "", 0, true); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(path)
@@ -89,7 +91,7 @@ func TestRunWritesHTMLReport(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table1", path, "", html, 0, true); err != nil {
+	if err := run("small", "table1", path, "", html, "", "", 0, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(html)
@@ -101,11 +103,49 @@ func TestRunWritesHTMLReport(t *testing.T) {
 	}
 }
 
+// TestRunWritesMetricsSnapshot: -metrics dumps a valid telemetry JSON
+// snapshot carrying the campaign's outcome counters.
+func TestRunWritesMetricsSnapshot(t *testing.T) {
+	path := writeSmallCampaign(t)
+	snapPath := filepath.Join(t.TempDir(), "snap.json")
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	if err := run("small", "table1", path, "", "", snapPath, "", 0, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	// writeSmallCampaign ran a campaign in this process, so the default
+	// registry must hold its outcome counters.
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "inject.outcomes" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing inject.outcomes counters")
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus-scale", "all", "", "", "", 0, true); err == nil {
+	if err := run("bogus-scale", "all", "", "", "", "", "", 0, true); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", 0, true); err == nil {
+	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", "", "", 0, true); err == nil {
 		t.Fatal("missing data file accepted")
 	}
 	path := writeSmallCampaign(t)
@@ -113,7 +153,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
-	if err := run("small", "nosuchexperiment", path, "", "", 0, true); err == nil {
+	if err := run("small", "nosuchexperiment", path, "", "", "", "", 0, true); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

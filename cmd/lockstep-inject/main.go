@@ -8,31 +8,40 @@
 //
 //	lockstep-inject [-o campaign.csv] [-kernels a,b] [-cycles N]
 //	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
+//	                [-metrics snapshot.json] [-pprof addr]
 //
 // The campaign is sharded over -workers parallel executors (default: all
-// CPUs); the output is bit-identical for every worker count.
+// CPUs); the output is bit-identical for every worker count and with or
+// without -metrics. -metrics dumps the telemetry snapshot (per-kernel /
+// per-kind outcome counters, detection-latency histograms, DSR
+// bit-population stats) as JSON after the run; -pprof serves
+// net/http/pprof and expvar live during it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"lockstep/internal/inject"
 	"lockstep/internal/stats"
+	"lockstep/internal/telemetry"
 )
 
 func main() {
 	var (
-		out     = flag.String("o", "campaign.csv", "output CSV path (\"-\" for stdout)")
-		kernels = flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
-		cycles  = flag.Int("cycles", 12000, "golden run horizon per kernel")
-		stride  = flag.Int("stride", 1, "inject every Nth flip-flop")
-		perKind = flag.Int("inj", 1, "injections per (flop, fault kind, kernel)")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", 0, "parallel experiment workers (0 = all CPUs)")
-		summary = flag.Bool("summary", true, "print a campaign summary to stderr")
+		out       = flag.String("o", "campaign.csv", "output CSV path (\"-\" for stdout)")
+		kernels   = flag.String("kernels", "", "comma-separated kernel names (default: full suite)")
+		cycles    = flag.Int("cycles", 12000, "golden run horizon per kernel")
+		stride    = flag.Int("stride", 1, "inject every Nth flip-flop")
+		perKind   = flag.Int("inj", 1, "injections per (flop, fault kind, kernel)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		workers   = flag.Int("workers", 0, "parallel experiment workers (0 = all CPUs)")
+		summary   = flag.Bool("summary", true, "print a campaign summary to stderr")
+		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -58,37 +67,66 @@ func main() {
 		}
 	}
 
-	ds, st, err := inject.RunStats(cfg)
-	if err != nil {
+	if err := run(cfg, *out, *metrics, *pprofAddr, *summary, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
 		os.Exit(1)
 	}
+}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+// run executes the campaign and writes the CSV log, the optional
+// telemetry snapshot, and the summary lines (to errw).
+func run(cfg inject.Config, out, metricsPath, pprofAddr string, summary bool, errw io.Writer) error {
+	if pprofAddr != "" {
+		url, err := telemetry.ServeDebug(pprofAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
-			os.Exit(1)
+			return err
+		}
+		fmt.Fprintf(errw, "debug server: %s/debug/pprof/ (metrics at /debug/vars)\n", url)
+	}
+
+	ds, st, err := inject.RunStats(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := ds.WriteCSV(w); err != nil {
-		fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
-		os.Exit(1)
+		return err
 	}
 
-	if *summary {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Default.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if summary {
 		man := ds.Manifested()
 		var times []int
 		for _, r := range man.Records {
 			times = append(times, r.ManifestationCycles())
 		}
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(errw,
 			"campaign: %d experiments, %d manifested (%.1f%%), %d distinct diverged SC sets, manifestation time %s cyc\n",
 			ds.Len(), man.Len(), 100*float64(man.Len())/float64(ds.Len()),
 			ds.DistinctDSRs(), stats.SummarizeInts(times))
-		fmt.Fprintf(os.Stderr, "throughput: %s\n", st)
+		fmt.Fprintf(errw, "throughput: %s\n", st)
 	}
+	return nil
 }

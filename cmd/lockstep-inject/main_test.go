@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lockstep/internal/clitest"
+	"lockstep/internal/inject"
+	"lockstep/internal/telemetry"
+)
+
+func init() { clitest.Register(main) }
+
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
+
+// campaignArgs is the small reference campaign every subprocess run uses.
+func campaignArgs(out, metrics string, workers int) []string {
+	args := []string{
+		"-o", out,
+		"-kernels", "ttsprk",
+		"-cycles", "4000",
+		"-stride", "24",
+		"-seed", "5",
+		"-summary=false",
+		fmt.Sprintf("-workers=%d", workers),
+	}
+	if metrics != "" {
+		args = append(args, "-metrics", metrics)
+	}
+	return args
+}
+
+// TestMetricsSnapshotAndDeterminism is the telemetry acceptance test,
+// run against the real binary (each subprocess has a fresh Default
+// registry): the outcome counters in the -metrics snapshot must sum
+// exactly to Config.Total(), and the emitted dataset must be
+// byte-identical with and without -metrics, at workers=1 and
+// workers=NumCPU.
+func TestMetricsSnapshotAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	csvPlain := filepath.Join(dir, "plain.csv")
+	csvMetrics := filepath.Join(dir, "metrics.csv")
+	csvParallel := filepath.Join(dir, "parallel.csv")
+	snap1 := filepath.Join(dir, "snap1.json")
+	snapN := filepath.Join(dir, "snapN.json")
+
+	for _, c := range []struct {
+		args []string
+	}{
+		{campaignArgs(csvPlain, "", 1)},
+		{campaignArgs(csvMetrics, snap1, 1)},
+		{campaignArgs(csvParallel, snapN, runtime.NumCPU())},
+	} {
+		if res := clitest.Exec(t, c.args...); res.Code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", c.args, res.Code, res.Stderr)
+		}
+	}
+
+	plain, err := os.ReadFile(csvPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMetrics, err := os.ReadFile(csvMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(csvParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, withMetrics) {
+		t.Fatal("dataset changed when -metrics was enabled")
+	}
+	if !bytes.Equal(plain, parallel) {
+		t.Fatalf("dataset changed at workers=%d", runtime.NumCPU())
+	}
+
+	total, err := inject.Config{
+		Kernels:               []string{"ttsprk"},
+		RunCycles:             4000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            24,
+		Seed:                  5,
+	}.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{snap1, snapN} {
+		var snap telemetry.Snapshot
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("%s: snapshot is not valid JSON: %v", path, err)
+		}
+		var sum, experiments int64
+		for _, c := range snap.Counters {
+			switch c.Name {
+			case "inject.outcomes":
+				sum += c.Value
+			case "inject.experiments":
+				experiments = c.Value
+			}
+		}
+		if sum != int64(total) {
+			t.Fatalf("%s: outcome counters sum to %d, want Config.Total()=%d", path, sum, total)
+		}
+		if experiments != int64(total) {
+			t.Fatalf("%s: inject.experiments=%d, want %d", path, experiments, total)
+		}
+		// The campaign must also have recorded detection latencies and
+		// DSR population stats for the detected subset.
+		var foundLat, foundPop bool
+		for _, h := range snap.Histograms {
+			switch h.Name {
+			case "inject.detect_latency":
+				foundLat = h.Count > 0
+			case "lockstep.dsr_popcount":
+				foundPop = h.Count > 0
+			}
+		}
+		if !foundLat || !foundPop {
+			t.Fatalf("%s: missing campaign histograms (latency=%v popcount=%v)", path, foundLat, foundPop)
+		}
+	}
+}
+
+// TestCLIRejectsUnknownKernel checks the error path of the real binary.
+func TestCLIRejectsUnknownKernel(t *testing.T) {
+	res := clitest.Exec(t, "-o", filepath.Join(t.TempDir(), "x.csv"), "-kernels", "nosuch")
+	if res.Code != 1 || !strings.Contains(res.Stderr, "lockstep-inject:") {
+		t.Fatalf("unknown kernel: exit %d, stderr %q", res.Code, res.Stderr)
+	}
+}

@@ -3,10 +3,16 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"lockstep/internal/clitest"
 	"lockstep/internal/inject"
 )
+
+func init() { clitest.Register(main) }
+
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
 
 func shard(t *testing.T, kernel string, seed int64) string {
 	t.Helper()
@@ -65,28 +71,26 @@ func TestMergeDropsExactDuplicates(t *testing.T) {
 
 func TestMergeRejectsConflicts(t *testing.T) {
 	a := shard(t, "rspeed", 3)
-	// Corrupt a copy: flip one record's detection flag.
+	// Corrupt a copy: flip one record's detection flag (the detected
+	// column) on exactly one line.
 	data, err := os.ReadFile(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines := string(data)
-	// Find a ",true," and make it ",false," on exactly one line (the
-	// detected column is the 7th field).
 	b := filepath.Join(t.TempDir(), "conflict.csv")
 	changed := false
-	out := ""
-	for _, line := range splitLines(lines) {
-		if !changed && contains(line, ",true,") {
-			line = replaceFirst(line, ",true,", ",false,")
+	var out []string
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		if !changed && strings.Contains(line, ",true,") {
+			line = strings.Replace(line, ",true,", ",false,", 1)
 			changed = true
 		}
-		out += line + "\n"
+		out = append(out, line)
 	}
 	if !changed {
 		t.Skip("no detected record to corrupt")
 	}
-	if err := os.WriteFile(b, []byte(out), 0o644); err != nil {
+	if err := os.WriteFile(b, []byte(strings.Join(out, "\n")+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := merge([]string{a, b}); err == nil {
@@ -94,35 +98,31 @@ func TestMergeRejectsConflicts(t *testing.T) {
 	}
 }
 
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			out = append(out, s[start:i])
-			start = i + 1
-		}
+// TestCLIExitStatus runs the real binary: merging shards exits 0 and
+// reports the shard/record counts; no arguments is a usage error (exit
+// 2); an unreadable shard exits 1.
+func TestCLIExitStatus(t *testing.T) {
+	a := shard(t, "ttsprk", 1)
+	b := shard(t, "puwmod", 1)
+	out := filepath.Join(t.TempDir(), "merged.csv")
+	res := clitest.Exec(t, "-o", out, a, b)
+	if res.Code != 0 {
+		t.Fatalf("exit %d, stderr: %s", res.Code, res.Stderr)
 	}
-	if start < len(s) {
-		out = append(out, s[start:])
+	if !strings.Contains(res.Stderr, "merged 2 shards") {
+		t.Fatalf("stderr missing merge summary:\n%s", res.Stderr)
 	}
-	return out
-}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("merged CSV not written: %v", err)
+	}
 
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
+	res = clitest.Exec(t)
+	if res.Code != 2 || !strings.Contains(res.Stderr, "usage:") {
+		t.Fatalf("no args: exit %d, stderr %q", res.Code, res.Stderr)
 	}
-	return false
-}
 
-func replaceFirst(s, old, new string) string {
-	for i := 0; i+len(old) <= len(s); i++ {
-		if s[i:i+len(old)] == old {
-			return s[:i] + new + s[i+len(old):]
-		}
+	res = clitest.Exec(t, "/nonexistent-shard.csv")
+	if res.Code != 1 || !strings.Contains(res.Stderr, "lockstep-merge:") {
+		t.Fatalf("bad shard: exit %d, stderr %q", res.Code, res.Stderr)
 	}
-	return s
 }

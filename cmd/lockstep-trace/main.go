@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lockstep/internal/cpu"
@@ -41,13 +42,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*kernel, *flop, *reg, *bit, *kind, *cycle, *window, *cycles); err != nil {
+	if err := run(os.Stdout, *kernel, *flop, *reg, *bit, *kind, *cycle, *window, *cycles); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-trace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel string, flop int, reg string, bit int, kindName string, cycle, window, cycles int) error {
+// run replays the experiment and prints the divergence grid to w.
+func run(w io.Writer, kernel string, flop int, reg string, bit int, kindName string, cycle, window, cycles int) error {
 	k := workload.ByName(kernel)
 	if k == nil {
 		return fmt.Errorf("unknown kernel %q", kernel)
@@ -88,6 +90,6 @@ func run(kernel string, flop int, reg string, bit int, kindName string, cycle, w
 		return err
 	}
 	tr := g.Trace(lockstep.Injection{Flop: flop, Kind: kind, Cycle: cycle}, window)
-	tr.Print(os.Stdout)
+	tr.Print(w)
 	return nil
 }

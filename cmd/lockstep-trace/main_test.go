@@ -1,50 +1,64 @@
 package main
 
 import (
-	"os"
+	"bytes"
+	"strings"
 	"testing"
+
+	"lockstep/internal/clitest"
 )
 
-func silence(t *testing.T) {
-	t.Helper()
-	old := os.Stdout
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = null
-	t.Cleanup(func() { os.Stdout = old; null.Close() })
-}
+func init() { clitest.Register(main) }
+
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
 
 func TestTraceByRegister(t *testing.T) {
-	silence(t)
-	if err := run("rspeed", -1, "LSUAddr", 9, "stuck1", 3000, 16, 8000); err != nil {
+	var out bytes.Buffer
+	if err := run(&out, "rspeed", -1, "LSUAddr", 9, "stuck1", 3000, 16, 8000); err != nil {
 		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("trace produced no output")
 	}
 }
 
 func TestTraceByFlopIndex(t *testing.T) {
-	silence(t)
-	if err := run("puwmod", 100, "", 0, "soft", 2000, 8, 6000); err != nil {
-		t.Fatal(err)
-	}
-	if err := run("puwmod", 100, "", 0, "stuck0", 2000, 8, 6000); err != nil {
-		t.Fatal(err)
+	for _, kind := range []string{"soft", "stuck0"} {
+		var out bytes.Buffer
+		if err := run(&out, "puwmod", 100, "", 0, kind, 2000, 8, 6000); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
 	}
 }
 
 func TestTraceRejectsBadInputs(t *testing.T) {
-	silence(t)
+	var out bytes.Buffer
 	cases := []error{
-		run("nosuch", 0, "", 0, "soft", 100, 8, 1000),
-		run("rspeed", 0, "", 0, "gamma-ray", 100, 8, 1000),
-		run("rspeed", -1, "NoSuchReg", 0, "soft", 100, 8, 1000),
-		run("rspeed", 1<<30, "", 0, "soft", 100, 8, 1000),
-		run("rspeed", 0, "", 0, "soft", 5000, 8, 1000), // cycle beyond horizon
+		run(&out, "nosuch", 0, "", 0, "soft", 100, 8, 1000),
+		run(&out, "rspeed", 0, "", 0, "gamma-ray", 100, 8, 1000),
+		run(&out, "rspeed", -1, "NoSuchReg", 0, "soft", 100, 8, 1000),
+		run(&out, "rspeed", 1<<30, "", 0, "soft", 100, 8, 1000),
+		run(&out, "rspeed", 0, "", 0, "soft", 5000, 8, 1000), // cycle beyond horizon
 	}
 	for i, err := range cases {
 		if err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+// TestCLIExitStatus runs the real binary: -list exits 0 and enumerates
+// registers; a bad kernel exits 1 with the error prefix.
+func TestCLIExitStatus(t *testing.T) {
+	res := clitest.Exec(t, "-list")
+	if res.Code != 0 {
+		t.Fatalf("-list: exit %d, stderr: %s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "LSUAddr") {
+		t.Fatalf("-list missing LSUAddr register:\n%s", res.Stdout)
+	}
+	res = clitest.Exec(t, "-kernel", "nosuch")
+	if res.Code != 1 || !strings.Contains(res.Stderr, "lockstep-trace:") {
+		t.Fatalf("bad kernel: exit %d, stderr %q", res.Code, res.Stderr)
 	}
 }

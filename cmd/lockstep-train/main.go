@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -32,13 +33,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*dataPath, *granFlag, *topK, *trainFrac, *seed, *dump, *outImage); err != nil {
+	if err := run(os.Stdout, *dataPath, *granFlag, *topK, *trainFrac, *seed, *dump, *outImage); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath string, granFlag, topK int, trainFrac float64, seed int64, dump int, outImage string) error {
+// run trains the table and prints the geometry/accuracy report to w.
+func run(w io.Writer, dataPath string, granFlag, topK int, trainFrac float64, seed int64, dump int, outImage string) error {
 	if dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -66,17 +68,17 @@ func run(dataPath string, granFlag, topK int, trainFrac float64, seed int64, dum
 	train, test := ds.Split(rng, trainFrac)
 	table := core.Train(train, gran, topK)
 
-	fmt.Printf("trained %v\n", table)
-	fmt.Printf("  training records: %d (%d detected)\n", train.Len(), train.Manifested().Len())
-	fmt.Printf("  table: %d entries + default, %d bits each at top-%d, %d bytes total\n",
+	fmt.Fprintf(w, "trained %v\n", table)
+	fmt.Fprintf(w, "  training records: %d (%d detected)\n", train.Len(), train.Manifested().Len())
+	fmt.Fprintf(w, "  table: %d entries + default, %d bits each at top-%d, %d bytes total\n",
 		table.Dict.Len(), tableEntryBits(table), effectiveK(table), (table.TableBits()+7)/8)
 
 	balanced := test.Balanced(rng)
 	soft, hard, overall := table.TypeAccuracy(balanced)
-	fmt.Printf("  held-out type accuracy (balanced): soft %.1f%%, hard %.1f%%, overall %.1f%%\n",
+	fmt.Fprintf(w, "  held-out type accuracy (balanced): soft %.1f%%, hard %.1f%%, overall %.1f%%\n",
 		100*soft, 100*hard, 100*overall)
 	for _, k := range []int{1, 2, 3, effectiveK(table)} {
-		fmt.Printf("  held-out location accuracy (top-%d): %.1f%%\n",
+		fmt.Fprintf(w, "  held-out location accuracy (top-%d): %.1f%%\n",
 			k, 100*table.LocationAccuracy(balanced, k))
 	}
 
@@ -92,7 +94,7 @@ func run(dataPath string, granFlag, topK int, trainFrac float64, seed int64, dum
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  wrote table image: %s (%d bytes)\n", outImage, n)
+		fmt.Fprintf(w, "  wrote table image: %s (%d bytes)\n", outImage, n)
 	}
 
 	if dump > 0 {
@@ -100,10 +102,10 @@ func run(dataPath string, granFlag, topK int, trainFrac float64, seed int64, dum
 		if len(ids) > dump {
 			ids = ids[:dump]
 		}
-		fmt.Println("  most-populated entries:")
+		fmt.Fprintln(w, "  most-populated entries:")
 		for _, id := range ids {
 			e := table.Entries[id]
-			fmt.Printf("    PTAR %4d  DSR %016x  n=%-5d type=%s  order=%s\n",
+			fmt.Fprintf(w, "    PTAR %4d  DSR %016x  n=%-5d type=%s  order=%s\n",
 				id, table.Dict.Set(id), e.Count, typeName(e.HardBit), orderNames(gran, e.Order))
 		}
 	}

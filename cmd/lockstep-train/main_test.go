@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"lockstep/internal/clitest"
 	"lockstep/internal/inject"
 )
+
+func init() { clitest.Register(main) }
+
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
 
 func campaignFile(t *testing.T) string {
 	t.Helper()
@@ -35,33 +42,57 @@ func campaignFile(t *testing.T) string {
 
 func TestTrainCLI(t *testing.T) {
 	path := campaignFile(t)
-	old := os.Stdout
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = null
-	defer func() { os.Stdout = old; null.Close() }()
-
 	for _, gran := range []int{7, 13} {
-		if err := run(path, gran, 0, 0.8, 1, 5, ""); err != nil {
+		var out bytes.Buffer
+		if err := run(&out, path, gran, 0, 0.8, 1, 5, ""); err != nil {
 			t.Fatalf("gran %d: %v", gran, err)
 		}
+		for _, want := range []string{"trained", "held-out type accuracy", "most-populated entries"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("gran %d: report missing %q:\n%s", gran, want, out.String())
+			}
+		}
 	}
-	if err := run(path, 7, 3, 0.8, 1, 0, filepath.Join(t.TempDir(), "table.bin")); err != nil {
+	var out bytes.Buffer
+	img := filepath.Join(t.TempDir(), "table.bin")
+	if err := run(&out, path, 7, 3, 0.8, 1, 0, img); err != nil {
 		t.Fatalf("top-3: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote table image") {
+		t.Fatalf("no table image confirmation:\n%s", out.String())
+	}
+	if fi, err := os.Stat(img); err != nil || fi.Size() == 0 {
+		t.Fatalf("table image not written: %v", err)
 	}
 }
 
 func TestTrainCLIRejectsBadInputs(t *testing.T) {
-	if err := run("", 7, 0, 0.8, 1, 0, ""); err == nil {
+	var out bytes.Buffer
+	if err := run(&out, "", 7, 0, 0.8, 1, 0, ""); err == nil {
 		t.Fatal("missing -data accepted")
 	}
-	if err := run("/nonexistent.csv", 7, 0, 0.8, 1, 0, ""); err == nil {
+	if err := run(&out, "/nonexistent.csv", 7, 0, 0.8, 1, 0, ""); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := campaignFile(t)
-	if err := run(path, 9, 0, 0.8, 1, 0, ""); err == nil {
+	if err := run(&out, path, 9, 0, 0.8, 1, 0, ""); err == nil {
 		t.Fatal("bad granularity accepted")
+	}
+}
+
+// TestCLIExitStatus runs the real binary: a training run exits 0 with
+// the report on stdout; missing -data exits 1 with the error prefix.
+func TestCLIExitStatus(t *testing.T) {
+	path := campaignFile(t)
+	res := clitest.Exec(t, "-data", path, "-gran", "7")
+	if res.Code != 0 {
+		t.Fatalf("exit %d, stderr: %s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "trained") {
+		t.Fatalf("stdout missing training report:\n%s", res.Stdout)
+	}
+	res = clitest.Exec(t)
+	if res.Code != 1 || !strings.Contains(res.Stderr, "lockstep-train:") {
+		t.Fatalf("missing -data: exit %d, stderr %q", res.Code, res.Stderr)
 	}
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lockstep/internal/asm"
@@ -22,8 +23,6 @@ import (
 	"lockstep/internal/workload"
 )
 
-var dumpState bool
-
 func main() {
 	var (
 		engine = flag.String("engine", "iss", "execution engine: iss (functional) or cpu (cycle-accurate)")
@@ -32,14 +31,14 @@ func main() {
 		dump   = flag.Bool("dump", false, "dump the full pipeline state at the end (cpu engine)")
 	)
 	flag.Parse()
-	dumpState = *dump
-	if err := run(*engine, *max, *kernel, flag.Args()); err != nil {
+	if err := run(os.Stdout, *engine, *max, *kernel, *dump, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "sr5-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(engine string, max int, kernel string, args []string) error {
+// run executes the program and prints the result report to w.
+func run(w io.Writer, engine string, max int, kernel string, dump bool, args []string) error {
 	var prog *asm.Program
 	var err error
 	switch {
@@ -75,19 +74,19 @@ func run(engine string, max int, kernel string, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("iss: %d instructions, halted=%v, pc=0x%x\n", n, m.Halted, m.PC)
+		fmt.Fprintf(w, "iss: %d instructions, halted=%v, pc=0x%x\n", n, m.Halted, m.PC)
 		regs = m.Regs
 	case "cpu":
 		c := cpu.New(sys, prog.Entry)
 		n := c.Run(max)
-		fmt.Printf("cpu: %d cycles, %d instructions retired, halted=%v",
+		fmt.Fprintf(w, "cpu: %d cycles, %d instructions retired, halted=%v",
 			n, c.State.RetCnt, c.State.Halted)
 		if c.State.Trapped() {
-			fmt.Printf(", TRAP cause=%d epc=0x%x", c.State.ExcCause, c.State.EPC)
+			fmt.Fprintf(w, ", TRAP cause=%d epc=0x%x", c.State.ExcCause, c.State.EPC)
 		}
-		fmt.Println()
-		if dumpState {
-			c.State.Dump(os.Stdout)
+		fmt.Fprintln(w)
+		if dump {
+			c.State.Dump(w)
 		}
 		regs = c.State.Regs
 	default:
@@ -95,15 +94,15 @@ func run(engine string, max int, kernel string, args []string) error {
 	}
 
 	for i := 0; i < 16; i += 4 {
-		fmt.Printf("  r%-2d=%08x r%-2d=%08x r%-2d=%08x r%-2d=%08x\n",
+		fmt.Fprintf(w, "  r%-2d=%08x r%-2d=%08x r%-2d=%08x r%-2d=%08x\n",
 			i, regs[i], i+1, regs[i+1], i+2, regs[i+2], i+3, regs[i+3])
 	}
 	ext := sys.Ext()
 	if ext.Writes > 0 {
-		fmt.Printf("peripheral: %d writes, %d reads; actuator slots:\n", ext.Writes, ext.Reads)
+		fmt.Fprintf(w, "peripheral: %d writes, %d reads; actuator slots:\n", ext.Writes, ext.Reads)
 		for i, v := range ext.Actuator {
 			if v != 0 {
-				fmt.Printf("  [%2d] 0x%08x (%d)\n", i, v, v)
+				fmt.Fprintf(w, "  [%2d] 0x%08x (%d)\n", i, v, v)
 			}
 		}
 	}

@@ -1,58 +1,89 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"lockstep/internal/clitest"
 )
 
-func silenceStdout(t *testing.T) {
-	t.Helper()
-	old := os.Stdout
-	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = null
-	t.Cleanup(func() { os.Stdout = old; null.Close() })
-}
+func init() { clitest.Register(main) }
+
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
 
 func TestRunKernelBothEngines(t *testing.T) {
-	silenceStdout(t)
 	for _, engine := range []string{"iss", "cpu"} {
-		if err := run(engine, 20000, "ttsprk", nil); err != nil {
+		var out bytes.Buffer
+		if err := run(&out, engine, 20000, "ttsprk", false, nil); err != nil {
 			t.Fatalf("%s: %v", engine, err)
+		}
+		if !strings.Contains(out.String(), engine+":") {
+			t.Fatalf("%s: report missing engine summary line:\n%s", engine, out.String())
+		}
+		if !strings.Contains(out.String(), "r0 =") {
+			t.Fatalf("%s: report missing register dump:\n%s", engine, out.String())
 		}
 	}
 }
 
 func TestRunSourceFile(t *testing.T) {
-	silenceStdout(t)
 	src := filepath.Join(t.TempDir(), "p.s")
 	prog := "        li r1, 5\n        mul r2, r1, r1\n        halt\n"
 	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("iss", 100, "", []string{src}); err != nil {
+	var iss, cpu bytes.Buffer
+	if err := run(&iss, "iss", 100, "", false, []string{src}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("cpu", 1000, "", []string{src}); err != nil {
+	if err := run(&cpu, "cpu", 1000, "", true, []string{src}); err != nil {
 		t.Fatal(err)
+	}
+	// r2 = 5*5 = 25 = 0x19 on both engines.
+	for name, out := range map[string]string{"iss": iss.String(), "cpu": cpu.String()} {
+		if !strings.Contains(out, "=00000019") {
+			t.Fatalf("%s: r2 != 25:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(cpu.String(), "halted=true") {
+		t.Fatalf("cpu engine did not halt:\n%s", cpu.String())
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	silenceStdout(t)
-	if err := run("iss", 100, "", nil); err == nil {
+	var out bytes.Buffer
+	if err := run(&out, "iss", 100, "", false, nil); err == nil {
 		t.Fatal("no input accepted")
 	}
-	if err := run("iss", 100, "nosuchkernel", nil); err == nil {
+	if err := run(&out, "iss", 100, "nosuchkernel", false, nil); err == nil {
 		t.Fatal("unknown kernel accepted")
 	}
-	if err := run("warp", 100, "ttsprk", nil); err == nil {
+	if err := run(&out, "warp", 100, "ttsprk", false, nil); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if err := run("iss", 100, "", []string{"/nonexistent.s"}); err == nil {
+	if err := run(&out, "iss", 100, "", false, []string{"/nonexistent.s"}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCLIExitStatus exercises the real binary: exit 0 plus the summary
+// line on success, exit 1 plus an error prefix on failure.
+func TestCLIExitStatus(t *testing.T) {
+	res := clitest.Exec(t, "-engine", "iss", "-kernel", "ttsprk", "-max", "20000")
+	if res.Code != 0 {
+		t.Fatalf("exit %d, stderr: %s", res.Code, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "iss:") {
+		t.Fatalf("stdout missing summary line:\n%s", res.Stdout)
+	}
+	res = clitest.Exec(t, "-kernel", "nosuchkernel")
+	if res.Code != 1 {
+		t.Fatalf("bad kernel: exit %d, want 1", res.Code)
+	}
+	if !strings.Contains(res.Stderr, "sr5-run:") {
+		t.Fatalf("stderr missing error prefix:\n%s", res.Stderr)
 	}
 }

@@ -1,0 +1,85 @@
+// Package clitest runs a command's real main() as a subprocess from its
+// test package, so CLI smoke tests can assert exit status, stdout and
+// stderr of the actual binary — flag parsing and os.Exit paths included.
+//
+// A cmd test package opts in by dispatching in TestMain:
+//
+//	func TestMain(m *testing.M) {
+//		clitest.Dispatch(m)
+//	}
+//
+// and then executes itself with CLI arguments:
+//
+//	res := clitest.Exec(t, "-o", out, "-kernels", "ttsprk")
+//	if res.Code != 0 { ... }
+//
+// Exec re-runs the test binary with an environment marker set; Dispatch
+// sees the marker in the child and calls the package's main() instead of
+// the test suite.
+package clitest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// EnvMarker is the environment variable that redirects a test binary
+// into its package's main().
+const EnvMarker = "LOCKSTEP_CLITEST_MAIN"
+
+// mainFns is populated by the generated test binary via Register.
+var mainFn func()
+
+// Register installs the command's main func. Call it from the cmd test
+// package's init (Dispatch panics without it).
+func Register(main func()) { mainFn = main }
+
+// Dispatch either runs the registered main() (in an Exec child) or the
+// test suite. It never returns.
+func Dispatch(m *testing.M) {
+	if os.Getenv(EnvMarker) == "1" {
+		if mainFn == nil {
+			panic("clitest: Dispatch without Register")
+		}
+		mainFn()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// Result is one subprocess invocation's outcome.
+type Result struct {
+	Stdout string
+	Stderr string
+	Code   int
+}
+
+// Exec re-runs the current test binary as the command under test with
+// the given CLI arguments and returns its output and exit code.
+func Exec(t *testing.T, args ...string) Result {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("clitest: cannot locate test binary: %v", err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), EnvMarker+"=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	res := Result{Stdout: stdout.String(), Stderr: stderr.String()}
+	var xerr *exec.ExitError
+	switch {
+	case err == nil:
+		res.Code = 0
+	case errors.As(err, &xerr):
+		res.Code = xerr.ExitCode()
+	default:
+		t.Fatalf("clitest: exec %v: %v", args, err)
+	}
+	return res
+}

@@ -26,6 +26,7 @@ import (
 	"lockstep/internal/cpu"
 	"lockstep/internal/dataset"
 	"lockstep/internal/lockstep"
+	"lockstep/internal/telemetry"
 	"lockstep/internal/workload"
 )
 
@@ -108,13 +109,15 @@ func (c *Config) normalize() error {
 	return nil
 }
 
-// Total returns the number of experiments the config will run.
-func (c Config) Total() int {
+// Total returns the number of experiments the config will run. A config
+// that cannot run (e.g. an unknown kernel name) returns the error that
+// Run/RunStats/Plan would return, instead of silently reporting 0.
+func (c Config) Total() (int, error) {
 	if err := c.normalize(); err != nil {
-		return 0
+		return 0, err
 	}
 	flops := (cpu.NumFlops() + c.FlopStride - 1) / c.FlopStride
-	return len(c.Kernels) * flops * len(c.Kinds) * c.InjectionsPerFlopKind
+	return len(c.Kernels) * flops * len(c.Kinds) * c.InjectionsPerFlopKind, nil
 }
 
 // Stats reports how a campaign ran.
@@ -164,6 +167,8 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		workers = 1
 	}
 
+	tel := newCampaignTelemetry(cfg)
+
 	// Records land at their plan index, so the merged dataset is in
 	// canonical plan order no matter which worker ran which experiment.
 	records := make([]dataset.Record, len(plan))
@@ -204,6 +209,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 					DSR:         out.DSR,
 					Converged:   out.Converged,
 				}
+				tel.record(e, out)
 				progress()
 			}
 		}()
@@ -219,7 +225,72 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 	if secs := elapsed.Seconds(); secs > 0 {
 		st.PerSec = float64(total) / secs
 	}
+	tel.finish(st)
 	return &dataset.Dataset{Records: records}, st, nil
+}
+
+// campaignTelemetry holds the pre-created metric handles for one
+// campaign, so experiment workers record with pure atomic operations and
+// never touch the registry's mutex on the hot path. All metrics land in
+// telemetry.Default; recording does not influence the experiment
+// schedule or outcomes, so datasets stay bit-identical with or without a
+// metrics consumer attached.
+type campaignTelemetry struct {
+	outcomes    map[string]*outcomeTel
+	experiments *telemetry.Counter
+}
+
+// outcomeTel is the per-(kernel, kind) handle set: one counter per
+// outcome class plus the detection-latency histogram (injection cycle to
+// checker detection, the paper's manifestation time).
+type outcomeTel struct {
+	detected  *telemetry.Counter
+	converged *telemetry.Counter
+	escaped   *telemetry.Counter
+	latency   *telemetry.Histogram
+}
+
+func outcomeKey(kernel string, kind lockstep.FaultKind) string {
+	return kernel + "\x00" + kind.String()
+}
+
+func newCampaignTelemetry(cfg Config) *campaignTelemetry {
+	t := &campaignTelemetry{
+		outcomes:    make(map[string]*outcomeTel, len(cfg.Kernels)*len(cfg.Kinds)),
+		experiments: telemetry.Default.Counter("inject.experiments"),
+	}
+	for _, kernel := range cfg.Kernels {
+		for _, kind := range cfg.Kinds {
+			kk, kd := telemetry.L("kernel", kernel), telemetry.L("kind", kind.String())
+			t.outcomes[outcomeKey(kernel, kind)] = &outcomeTel{
+				detected:  telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "detected")),
+				converged: telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "converged")),
+				escaped:   telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "escaped")),
+				latency:   telemetry.Default.Histogram("inject.detect_latency", telemetry.CycleBuckets, kk, kd),
+			}
+		}
+	}
+	return t
+}
+
+func (t *campaignTelemetry) record(e Experiment, out lockstep.Outcome) {
+	t.experiments.Inc()
+	o := t.outcomes[outcomeKey(e.Kernel, e.Kind)]
+	switch {
+	case out.Detected:
+		o.detected.Inc()
+		o.latency.Observe(int64(out.DetectCycle - e.Cycle))
+	case out.Converged:
+		o.converged.Inc()
+	default:
+		o.escaped.Inc()
+	}
+}
+
+func (t *campaignTelemetry) finish(st Stats) {
+	telemetry.Default.Gauge("inject.workers").Set(int64(st.Workers))
+	telemetry.Default.Gauge("inject.elapsed_ms").Set(st.Elapsed.Milliseconds())
+	telemetry.Default.Gauge("inject.per_sec").Set(int64(st.PerSec))
 }
 
 // buildGoldens records one fault-free golden run per kernel, in parallel

@@ -25,8 +25,12 @@ func TestCampaignShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.Len() != cfg.Total() {
-		t.Fatalf("got %d records, config promised %d", ds.Len(), cfg.Total())
+	total, err := cfg.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != total {
+		t.Fatalf("got %d records, config promised %d", ds.Len(), total)
 	}
 	man := ds.Manifested()
 	if man.Len() == 0 {

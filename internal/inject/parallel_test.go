@@ -114,7 +114,10 @@ func TestProgressMonotonic(t *testing.T) {
 	cfg.Kernels = []string{"rspeed"}
 	cfg.FlopStride = 32
 	cfg.Workers = 4
-	want := cfg.Total()
+	want, err := cfg.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want < 8 {
 		t.Fatalf("campaign too small (%d) to exercise sharding", want)
 	}

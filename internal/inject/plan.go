@@ -36,7 +36,9 @@ func (c Config) Plan() ([]Experiment, error) {
 	if intervalLen < 1 {
 		intervalLen = 1
 	}
-	plan := make([]Experiment, 0, c.Total())
+	// c is normalized above, so Total cannot fail here.
+	total, _ := c.Total()
+	plan := make([]Experiment, 0, total)
 	for _, name := range c.Kernels {
 		for flop := 0; flop < cpu.NumFlops(); flop += c.FlopStride {
 			for _, kind := range c.Kinds {

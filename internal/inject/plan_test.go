@@ -87,7 +87,11 @@ func TestPlanEnumeration(t *testing.T) {
 			if len(plan) != tc.wantLen {
 				t.Fatalf("plan has %d experiments, want %d", len(plan), tc.wantLen)
 			}
-			if got := tc.cfg.Total(); got != len(plan) {
+			got, err := tc.cfg.Total()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != len(plan) {
 				t.Fatalf("Total()=%d but plan has %d experiments", got, len(plan))
 			}
 			cfg := tc.cfg

@@ -1,0 +1,73 @@
+package inject
+
+import (
+	"testing"
+
+	"lockstep/internal/telemetry"
+)
+
+// TestTotalReportsUnknownKernel is the regression test for Total()
+// silently returning 0: a config that cannot run must surface the
+// normalize error instead.
+func TestTotalReportsUnknownKernel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Kernels = []string{"nosuchkernel"}
+	n, err := cfg.Total()
+	if err == nil {
+		t.Fatal("Total accepted an unknown kernel")
+	}
+	if n != 0 {
+		t.Fatalf("Total = %d alongside an error, want 0", n)
+	}
+	// Run and Plan must fail with the same class of error.
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an unknown kernel")
+	}
+	if _, err := cfg.Plan(); err == nil {
+		t.Fatal("Plan accepted an unknown kernel")
+	}
+	// A valid config still reports its exact experiment count.
+	good := smallConfig()
+	n, err = good.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("Total = %d for a valid config", n)
+	}
+}
+
+// outcomeCounts sums the default registry's campaign outcome counters
+// (they are monotone across campaigns in one process, so tests measure
+// deltas).
+func outcomeCounts() (sum, detected int64) {
+	for _, c := range telemetry.Default.Snapshot().Counters {
+		if c.Name != "inject.outcomes" {
+			continue
+		}
+		sum += c.Value
+		if c.Labels["outcome"] == "detected" {
+			detected += c.Value
+		}
+	}
+	return sum, detected
+}
+
+// TestCampaignTelemetryAccounting: every experiment of a campaign lands
+// in exactly one outcome counter, and the detected count matches the
+// dataset's manifested subset.
+func TestCampaignTelemetryAccounting(t *testing.T) {
+	sumBefore, detBefore := outcomeCounts()
+	cfg := smallConfig()
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumAfter, detAfter := outcomeCounts()
+	if got, want := sumAfter-sumBefore, int64(ds.Len()); got != want {
+		t.Fatalf("outcome counters grew by %d, want %d (one per experiment)", got, want)
+	}
+	if got, want := detAfter-detBefore, int64(ds.Manifested().Len()); got != want {
+		t.Fatalf("detected counters grew by %d, want %d", got, want)
+	}
+}

@@ -13,11 +13,26 @@ package lockstep
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lockstep/internal/cpu"
 	"lockstep/internal/mem"
+	"lockstep/internal/telemetry"
 	"lockstep/internal/workload"
 )
+
+// recordDSR logs the bit population of a latched DSR to the default
+// telemetry registry: how many signal categories diverged by the time
+// the checker stopped the CPUs — the raw signal the paper's correlation
+// tables are built from (hard faults spread across visibly more SCs than
+// single-cycle transients). source is "inject" for the campaign harness
+// (DSR after the full stop-latency accumulation window) or "checker" for
+// a live Checker latch (first-divergence map).
+func recordDSR(source string, dsr uint64) {
+	telemetry.Default.Counter("lockstep.detections", telemetry.L("source", source)).Inc()
+	telemetry.Default.Histogram("lockstep.dsr_popcount", telemetry.PopBuckets,
+		telemetry.L("source", source)).Observe(int64(bits.OnesCount64(dsr)))
+}
 
 // FaultKind is the class of injected fault.
 type FaultKind uint8
@@ -237,6 +252,7 @@ func (g *Golden) InjectW(inj Injection, window int) Outcome {
 				or = red.State.Outputs()
 				dsr |= cpu.Diverge(&om, &or)
 			}
+			recordDSR("inject", dsr)
 			return Outcome{Detected: true, DetectCycle: detect, DSR: dsr}
 		}
 		if inj.Kind == SoftFlip && !softArmed && red.State == main.State {
@@ -285,6 +301,7 @@ func (c *Checker) Compare(vecs ...*cpu.OutVec) bool {
 	c.DSR = dsr
 	c.Error = true
 	c.ErrCycle = c.cycle
+	recordDSR("checker", dsr)
 	return true
 }
 

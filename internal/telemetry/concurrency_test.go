@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter and one labeled counter set
+// from NumCPU goroutines and checks the totals are exact (run under
+// -race via `make ci`).
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	workers := runtime.NumCPU()
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers grab the handle once, half look it up per
+			// event — both paths must agree.
+			if w%2 == 0 {
+				c := r.Counter("hot", L("shard", "a"))
+				for i := 0; i < perWorker; i++ {
+					c.Inc()
+				}
+			} else {
+				for i := 0; i < perWorker; i++ {
+					r.Counter("hot", L("shard", "a")).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := r.Counter("hot", L("shard", "a")).Value(), int64(workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentHistogram checks exact count/sum under parallel
+// observation and that the snapshot's cumulative bucket counts are
+// monotone and bounded by the total count.
+func TestConcurrentHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", CycleBuckets)
+	workers := runtime.NumCPU()
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(rng.Intn(2_000_000))) // overflow bucket included
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := int64(workers * perWorker)
+	if h.Count() != want {
+		t.Fatalf("count = %d, want %d", h.Count(), want)
+	}
+	var sum int64
+	for w := 0; w < workers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWorker; i++ {
+			sum += int64(rng.Intn(2_000_000))
+		}
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), sum)
+	}
+
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("%d histograms in snapshot", len(snap.Histograms))
+	}
+	hv := snap.Histograms[0]
+	prev := int64(0)
+	for i, b := range hv.Buckets {
+		if b.Cumulative < prev {
+			t.Fatalf("bucket %d cumulative %d < previous %d", i, b.Cumulative, prev)
+		}
+		prev = b.Cumulative
+	}
+	if prev > hv.Count {
+		t.Fatalf("last cumulative %d exceeds count %d", prev, hv.Count)
+	}
+	if hv.Count != want {
+		t.Fatalf("snapshot count = %d, want %d", hv.Count, want)
+	}
+}
+
+// TestSnapshotWhileWriting snapshots concurrently with writers; the race
+// detector is the assertion.
+func TestSnapshotWhileWriting(t *testing.T) {
+	r := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("h", PopBuckets, L("w", string(rune('a'+w))))
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(i % 70)
+					c.Inc()
+					g.Set(i)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := json.Marshal(r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotDeterministic is the property test: two registries fed the
+// same multiset of observations — in different orders, from different
+// goroutine interleavings — serialize to byte-identical JSON.
+func TestSnapshotDeterministic(t *testing.T) {
+	obs := make([]int64, 4096)
+	rng := rand.New(rand.NewSource(42))
+	for i := range obs {
+		obs[i] = int64(rng.Intn(1 << 21))
+	}
+
+	build := func(order []int64, shards int) []byte {
+		r := New()
+		var wg sync.WaitGroup
+		per := (len(order) + shards - 1) / shards
+		for s := 0; s < shards; s++ {
+			lo := s * per
+			hi := lo + per
+			if hi > len(order) {
+				hi = len(order)
+			}
+			wg.Add(1)
+			go func(chunk []int64) {
+				defer wg.Done()
+				for _, v := range chunk {
+					r.Histogram("lat", CycleBuckets, L("k", "x")).Observe(v)
+					r.Counter("n", L("parity", []string{"even", "odd"}[v%2])).Inc()
+					r.Gauge("last_bucket").Set(v % 7)
+				}
+			}(order[lo:hi])
+		}
+		wg.Wait()
+		// The gauge is order-dependent by nature; pin it so the rest of
+		// the snapshot's determinism is what the test measures.
+		r.Gauge("last_bucket").Set(0)
+		data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	shuffled := append([]int64(nil), obs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	a := build(obs, 1)
+	b := build(shuffled, runtime.NumCPU())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots differ for the same observation multiset:\n%s\n----\n%s", a, b)
+	}
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+)
+
+// ServeDebug starts the process debug HTTP server on addr (e.g.
+// "localhost:6060", or ":0" for an ephemeral port) and returns its base
+// URL. The default mux carries net/http/pprof under /debug/pprof/ and
+// expvar under /debug/vars, where the Default registry appears as
+// "lockstep.telemetry" — so a long campaign can be profiled and its
+// metrics watched live. The server runs until the process exits.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), nil
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"expvar"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension of a metric.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label, keeping call sites short.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+type entry struct {
+	name   string
+	labels []Label // sorted by key
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a labeled metric namespace. Metric handles are created on
+// first use (get-or-create, keyed by name plus the sorted label set) and
+// are stable thereafter: hot paths should hold the returned handle, but a
+// per-event lookup is also cheap (an RWMutex read plus one map probe).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// Default is the process-wide registry the simulator packages record
+// into. It is published under expvar as "lockstep.telemetry".
+var Default = New()
+
+func init() {
+	expvar.Publish("lockstep.telemetry", expvar.Func(func() any {
+		return Default.Snapshot()
+	}))
+}
+
+// canonical returns the registry key "name{k=v,k2=v2}" with label keys
+// sorted, which is also the metric's identity in snapshots.
+func canonical(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// get returns the entry for (name, labels), creating it with mk on first
+// use. Asking for an existing metric with a different kind panics: it is
+// a programming error that would silently split a metric's identity.
+func (r *Registry) get(name string, labels []Label, kind metricKind, mk func(*entry)) *entry {
+	labels = sortLabels(labels)
+	id := canonical(name, labels)
+	r.mu.RLock()
+	e := r.entries[id]
+	r.mu.RUnlock()
+	if e == nil {
+		r.mu.Lock()
+		if e = r.entries[id]; e == nil {
+			e = &entry{name: name, labels: labels, kind: kind}
+			mk(e)
+			r.entries[id] = e
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != kind {
+		panic("telemetry: metric " + id + " already registered as " + e.kind.String())
+	}
+	return e
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.get(name, labels, kindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.get(name, labels, kindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with
+// the given bucket bounds on first use. The bounds of an existing
+// histogram are kept (they are part of the metric's contract, not of the
+// call site).
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	return r.get(name, labels, kindHistogram, func(e *entry) { e.h = NewHistogram(bounds) }).h
+}
+
+// Reset drops every metric. Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.entries = map[string]*entry{}
+	r.mu.Unlock()
+}
+
+// sorted returns the entries ordered by canonical id.
+func (r *Registry) sorted() []*entry {
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*entry, len(ids))
+	for i, id := range ids {
+		out[i] = r.entries[id]
+	}
+	r.mu.RUnlock()
+	return out
+}

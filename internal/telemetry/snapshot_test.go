@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry records a fixed observation sequence; the golden file
+// pins the snapshot JSON format so accidental drift is caught in review.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("inject.outcomes",
+		L("kernel", "ttsprk"), L("kind", "soft"), L("outcome", "detected")).Add(42)
+	r.Counter("inject.outcomes",
+		L("kernel", "ttsprk"), L("kind", "soft"), L("outcome", "converged")).Add(17)
+	r.Counter("inject.outcomes",
+		L("kernel", "ttsprk"), L("kind", "stuck-at-1"), L("outcome", "detected")).Add(63)
+	r.Gauge("inject.workers").Set(4)
+	h := r.Histogram("inject.detect_latency", CycleBuckets, L("kernel", "ttsprk"), L("kind", "soft"))
+	for _, v := range []int64{3, 5, 9, 17, 33, 65, 129, 257, 1025, 70000} {
+		h.Observe(v)
+	}
+	p := r.Histogram("lockstep.dsr_popcount", PopBuckets, L("source", "inject"))
+	for _, v := range []int64{1, 1, 2, 3, 5, 8, 13, 21, 34, 55} {
+		p.Observe(v)
+	}
+	return r
+}
+
+func TestSnapshotGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/telemetry/ -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapshot JSON drifted from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("hits"); again != c {
+		t.Fatal("Counter did not return the existing handle")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestLabelsCanonicalOrder(t *testing.T) {
+	r := New()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order created two distinct metrics")
+	}
+	if c := r.Counter("m", L("a", "1"), L("b", "other")); c == a {
+		t.Fatal("different label values shared a metric")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge reuse of a counter name did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]int64{10, 20, 40})
+	for _, v := range []int64{1, 10, 11, 25, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 147 {
+		t.Fatalf("count=%d sum=%d, want 5/147", h.Count(), h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min=%d max=%d, want 1/100", h.Min(), h.Max())
+	}
+	// Buckets: <=10 holds {1,10}, <=20 holds {11}, <=40 holds {25},
+	// overflow holds {100}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d count=%d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(CycleBuckets)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", q)
+	}
+	// 100 observations of exactly 100 cycles: every quantile is 100 (the
+	// interpolation is clamped to the observed min/max).
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 100 {
+			t.Fatalf("q%.0f = %v, want 100", q*100, got)
+		}
+	}
+	// An order-of-magnitude outlier moves p99 toward it but not p50.
+	for i := 0; i < 5; i++ {
+		h.Observe(10000)
+	}
+	if p50 := h.Quantile(0.5); p50 != 100 {
+		t.Fatalf("p50 = %v, want 100", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 1000 {
+		t.Fatalf("p99 = %v, want > 1000", p99)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]int64{{}, {5, 5}, {10, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Reset()
+	if n := len(r.Snapshot().Counters); n != 0 {
+		t.Fatalf("%d counters after Reset", n)
+	}
+}
+
+func TestSnapshotEmptySerializesToArrays(t *testing.T) {
+	var b strings.Builder
+	if err := New().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"counters": []`, `"gauges": []`, `"histograms": []`} {
+		if !strings.Contains(b.String(), key) {
+			t.Fatalf("empty snapshot missing %s:\n%s", key, b.String())
+		}
+	}
+}
+
+// TestServeDebug starts the debug server on an ephemeral port and checks
+// that expvar (with the published default registry) and pprof respond.
+func TestServeDebug(t *testing.T) {
+	Default.Counter("test.debug_probe").Inc()
+	url, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(url + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if _, ok := vars["lockstep.telemetry"]; !ok {
+		t.Fatal("default registry not published under expvar")
+	}
+	if !strings.Contains(string(vars["lockstep.telemetry"]), "test.debug_probe") {
+		t.Fatal("published snapshot is missing a recorded counter")
+	}
+	res, err = http.Get(url + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint returned %d", res.StatusCode)
+	}
+}
