@@ -1,12 +1,13 @@
 # CI entry points. `make ci` is the gate: vet, build, the full test suite
 # under the race detector, the campaign determinism check (a serial vs
-# workers=4 Small-scale campaign must be byte-identical), and the
-# telemetry concurrency tests under -race.
+# workers=4 Small-scale campaign must be byte-identical, and the replay
+# path must match the legacy dual-CPU oracle), the telemetry concurrency
+# tests under -race, and the injection hot-path allocation guard.
 GO ?= go
 
-.PHONY: ci vet build test race determinism telemetry cover bench fuzz
+.PHONY: ci vet build test race determinism telemetry alloc cover bench bench-quick fuzz
 
-ci: vet build race determinism telemetry
+ci: vet build race determinism telemetry alloc
 
 vet:
 	$(GO) vet ./...
@@ -20,10 +21,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The worker-count-invariance contract, explicitly and under -race: the
-# sharded campaign must reproduce the serial dataset bit for bit.
+# The campaign determinism contracts, explicitly and under -race: the
+# sharded campaign must reproduce the serial dataset bit for bit, and the
+# golden-trace replay path must reproduce the legacy dual-CPU oracle's
+# outcomes bit for bit (per-experiment and as a whole campaign dataset).
 determinism:
-	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial' -count=1 \
+	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial|TestReplayMatchesLegacyOracle|TestLegacyOracleDatasetIdentical|TestGoldenTraceSelfCheck' -count=1 \
 		./internal/inject/ ./internal/lockstep/
 
 # The telemetry layer's own contract, under -race: exact totals from
@@ -43,8 +46,20 @@ cover:
 	if [ "$$ok" != "1" ]; then echo "cover: internal/telemetry $$pct% below the 60% floor"; exit 1; fi; \
 	echo "cover: internal/telemetry $$pct% (floor 60%)"
 
+# Allocation regression guard for the injection hot path: steady-state
+# Replayer.InjectW must perform zero heap allocations. Run without -race
+# (the detector's instrumentation allocates; the test skips itself there).
+alloc:
+	$(GO) test -run 'TestInjectReplayZeroAlloc' -count=1 ./internal/lockstep/
+
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Quick perf check of the injection hot path: golden-trace replay vs the
+# legacy dual-CPU oracle on the same mix (see BENCH_inject.json for the
+# recorded trajectory).
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy)$$' -benchmem -benchtime=200ms .
 
 # Short fuzz pass over the campaign-log parser.
 fuzz:

@@ -294,22 +294,48 @@ func BenchmarkLockstepPair(b *testing.B) {
 	}
 }
 
-// BenchmarkInjectionExperiment measures one full fault-injection
-// experiment (restore, replay, paired run).
-func BenchmarkInjectionExperiment(b *testing.B) {
+// injectionBenchSetup builds the shared golden run and a fixed mixed
+// injection schedule (all three fault kinds, random flops and cycles), so
+// the replay and legacy benchmarks measure the exact same experiments.
+func injectionBenchSetup(b *testing.B) (*lockstep.Golden, []lockstep.Injection) {
+	b.Helper()
 	k := workload.ByName("puwmod")
 	g, err := lockstep.NewGolden(k, 6000, 750)
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.Inject(lockstep.Injection{
+	mix := make([]lockstep.Injection, 512)
+	for i := range mix {
+		mix[i] = lockstep.Injection{
 			Flop:  rng.Intn(cpu.NumFlops()),
 			Kind:  lockstep.FaultKind(i % lockstep.NumFaultKinds),
 			Cycle: 500 + rng.Intn(5000),
-		})
+		}
+	}
+	return g, mix
+}
+
+// BenchmarkInjectReplay measures one fault-injection experiment on the
+// golden-trace replay path (one CPU stepped per cycle, per-worker scratch
+// reuse) — the campaign hot path.
+func BenchmarkInjectReplay(b *testing.B) {
+	g, mix := injectionBenchSetup(b)
+	rep := lockstep.NewReplayer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep.InjectW(g, mix[i%len(mix)], lockstep.StopLatency)
+	}
+}
+
+// BenchmarkInjectLegacy measures the same injection mix on the legacy
+// dual-CPU oracle (main + redundant CPU re-simulated, full RAM restore
+// per experiment).
+func BenchmarkInjectLegacy(b *testing.B) {
+	g, mix := injectionBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InjectLegacyW(mix[i%len(mix)], lockstep.StopLatency)
 	}
 }
 

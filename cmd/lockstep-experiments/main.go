@@ -9,10 +9,14 @@
 //	                     [-data campaign.csv] [-save campaign.csv]
 //	                     [-html report.html] [-workers N] [-quiet]
 //	                     [-metrics snapshot.json] [-pprof addr]
+//	                     [-legacy-inject]
 //
 // The campaign shards across -workers parallel executors (default: all
 // CPUs). The dataset is bit-identical for every worker count, so -workers
 // only changes wall-clock time; the throughput line reports it.
+// -legacy-inject runs the campaign on the original dual-CPU simulation
+// instead of golden-trace replay — bit-identical dataset at roughly half
+// the throughput, kept as the differential-testing oracle.
 //
 // Experiments: table1 units table2 table3 table4 fig4 fig5 fig11 fig12
 // fig13 fig14 fig15 fig16 onoffchip lbist spread ablation window summary
@@ -51,16 +55,17 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		legacy    = flag.Bool("legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
 	)
 	flag.Parse()
 
-	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *metrics, *pprofAddr, *workers, *quiet); err != nil {
+	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *metrics, *pprofAddr, *workers, *legacy, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAddr string, workers int, quiet bool) error {
+func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAddr string, workers int, legacy, quiet bool) error {
 	if pprofAddr != "" {
 		url, err := telemetry.ServeDebug(pprofAddr)
 		if err != nil {
@@ -77,6 +82,7 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 	if workers > 0 {
 		scale = scale.WithWorkers(workers)
 	}
+	scale.Legacy = legacy
 
 	var ctx *experiments.Context
 	if dataPath != "" {

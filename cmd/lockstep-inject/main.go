@@ -8,11 +8,14 @@
 //
 //	lockstep-inject [-o campaign.csv] [-kernels a,b] [-cycles N]
 //	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
-//	                [-metrics snapshot.json] [-pprof addr]
+//	                [-metrics snapshot.json] [-pprof addr] [-legacy-inject]
 //
 // The campaign is sharded over -workers parallel executors (default: all
 // CPUs); the output is bit-identical for every worker count and with or
-// without -metrics. -metrics dumps the telemetry snapshot (per-kernel /
+// without -metrics. Experiments run on the golden-trace replay path (one
+// CPU simulated per cycle); -legacy-inject selects the original dual-CPU
+// simulation, which produces a bit-identical dataset at roughly half the
+// throughput and exists as the differential-testing oracle. -metrics dumps the telemetry snapshot (per-kernel /
 // per-kind outcome counters, detection-latency histograms, DSR
 // bit-population stats) as JSON after the run; -pprof serves
 // net/http/pprof and expvar live during it.
@@ -42,6 +45,7 @@ func main() {
 		summary   = flag.Bool("summary", true, "print a campaign summary to stderr")
 		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		legacy    = flag.Bool("legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,7 @@ func main() {
 		FlopStride:            *stride,
 		Seed:                  *seed,
 		Workers:               *workers,
+		Legacy:                *legacy,
 	}
 	if *kernels != "" {
 		for _, k := range strings.Split(*kernels, ",") {

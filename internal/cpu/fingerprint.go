@@ -1,0 +1,110 @@
+package cpu
+
+// Fingerprint condenses every flip-flop of a State into 64 bits (FNV-1a
+// over the register values, with narrow fields packed into shared words).
+// The golden trace stores one fingerprint per cycle so the injection
+// replay path can run the soft-fault convergence check without a live
+// main CPU: equal states always produce equal fingerprints, so a
+// mismatch proves the redundant CPU has not re-joined the golden state.
+// A match is only a filter — the caller confirms against the exactly
+// reconstructed golden state — so a hash collision can cost time, never
+// correctness.
+//
+// Every field of State must feed the hash: the registry cross-check in
+// fingerprint_test.go flips each of the NumFlops() flip-flops and fails
+// if any of them leaves the fingerprint unchanged, which catches a State
+// field added without a matching line here.
+func Fingerprint(s *State) uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	mix := func(v uint32) {
+		h = (h ^ uint64(v)) * prime
+	}
+
+	// --- PFU / IMC ---
+	mix(s.PC)
+	mix(s.FQInstr[0])
+	mix(s.FQInstr[1])
+	mix(s.FQPC[0])
+	mix(s.FQPC[1])
+	mix(s.IReqAddr)
+	mix(s.IFData)
+
+	// --- DPU ---
+	mix(s.DXImm)
+	mix(s.DXPC)
+	mix(s.DXInstr)
+	mix(s.DXRs1Val)
+	mix(s.DXRs2Val)
+	for i := 0; i < 16; i++ {
+		mix(s.Regs[i])
+	}
+	mix(s.XMAlu)
+	mix(s.XMStore)
+	mix(s.XMPC)
+	mix(s.XMInstr)
+	mix(s.MulA)
+	mix(s.MulB)
+	mix(s.DivRem)
+	mix(s.DivQuot)
+	mix(s.DivDivisor)
+	mix(s.MWVal)
+	mix(s.MWPC)
+	mix(s.MWInstr)
+
+	// --- LSU / DMC / BIU ---
+	mix(s.LSUAddr)
+	mix(s.LSUData)
+	mix(s.DAddr)
+	mix(s.DWData)
+	mix(s.DRData)
+	mix(s.ExtAddr)
+	mix(s.ExtWData)
+	mix(s.ExtRData)
+
+	// --- SCU ---
+	mix(s.CycCnt)
+	mix(s.RetCnt)
+	mix(s.EPC)
+	for i := 0; i < MPURegions; i++ {
+		mix(s.MPUBase[i])
+		mix(s.MPULimit[i])
+	}
+
+	// Narrow fields, packed byte-per-field into shared words (each field
+	// keeps its own lanes, so any single-flop change alters the word).
+	mix(uint32(s.FQHead) | uint32(s.DXOp)<<8 | uint32(s.DXRd)<<16 | uint32(s.DXRs1)<<24)
+	mix(uint32(s.DXRs2) | uint32(s.XMOp)<<8 | uint32(s.XMRd)<<16 | uint32(s.DivCnt)<<24)
+	mix(uint32(s.MWRd) | uint32(s.LSUBE)<<8 | uint32(s.DBE)<<16 | uint32(s.ExtBE)<<24)
+	mix(uint32(s.ExtCnt) | uint32(s.ExcCause)<<8)
+	for i := 0; i < MPURegions; i++ {
+		mix(uint32(s.MPUAttr[i]))
+	}
+
+	// Single-bit flops, one lane each.
+	mix(b2u(s.FQValid[0]) |
+		b2u(s.FQValid[1])<<1 |
+		b2u(s.IReqValid)<<2 |
+		b2u(s.DXValid)<<3 |
+		b2u(s.XMValid)<<4 |
+		b2u(s.MulBusy)<<5 |
+		b2u(s.MulHiSel)<<6 |
+		b2u(s.DivBusy)<<7 |
+		b2u(s.DivNegQ)<<8 |
+		b2u(s.DivNegR)<<9 |
+		b2u(s.DivIsRem)<<10 |
+		b2u(s.MWValid)<<11 |
+		b2u(s.MWWen)<<12 |
+		b2u(s.LSURe)<<13 |
+		b2u(s.LSUWe)<<14 |
+		b2u(s.DRe)<<15 |
+		b2u(s.DWe)<<16 |
+		b2u(s.ExtRe)<<17 |
+		b2u(s.ExtWe)<<18 |
+		b2u(s.ExtBusy)<<19 |
+		b2u(s.Halted)<<20 |
+		b2u(s.ExcValid)<<21)
+
+	h ^= h >> 32
+	return h
+}

@@ -28,7 +28,8 @@ type Scale struct {
 	FlopStride     int      // 1 = every flip-flop
 	InjPerFlopKind int      // injections per (flop, kind, kernel)
 	Seed           int64
-	Workers        int // campaign worker pool; 0 = runtime.NumCPU()
+	Workers        int  // campaign worker pool; 0 = runtime.NumCPU()
+	Legacy         bool // dual-CPU oracle instead of golden-trace replay
 }
 
 // WithWorkers returns a copy of the scale with the campaign worker count
@@ -93,6 +94,7 @@ func (s Scale) Config() inject.Config {
 		FlopStride:            s.FlopStride,
 		Seed:                  s.Seed,
 		Workers:               s.Workers,
+		Legacy:                s.Legacy,
 	}
 }
 

@@ -59,6 +59,11 @@ type Config struct {
 	// for every worker count (the plan fixes each experiment's schedule
 	// and records merge back in plan order).
 	Workers int
+	// Legacy runs experiments on the original dual-CPU simulation instead
+	// of the golden-trace replay path. Roughly half the throughput; kept
+	// as the differential-testing oracle (outcomes are bit-identical to
+	// the replay path, which the test suite asserts).
+	Legacy bool
 	// Progress, if non-nil, receives (done, total) experiment counts.
 	// Calls are serialized and done is strictly increasing 1..total, even
 	// when experiments complete out of order across workers.
@@ -193,10 +198,23 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker replay scratch: reused across every experiment
+			// this worker runs, so the steady-state hot path allocates
+			// nothing and repositioning between experiments on the same
+			// kernel is an incremental image seek, not a full RAM copy.
+			var rep *lockstep.Replayer
+			if !cfg.Legacy {
+				rep = lockstep.NewReplayer()
+			}
 			for idx := range next {
 				e := plan[idx]
 				inj := lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}
-				out := goldens[e.Kernel].InjectW(inj, window)
+				var out lockstep.Outcome
+				if cfg.Legacy {
+					out = goldens[e.Kernel].InjectLegacyW(inj, window)
+				} else {
+					out = rep.InjectW(goldens[e.Kernel], inj, window)
+				}
 				records[idx] = dataset.Record{
 					Kernel:      e.Kernel,
 					Flop:        e.Flop,
@@ -330,5 +348,10 @@ func buildGoldens(cfg Config) (map[string]*lockstep.Golden, error) {
 			return nil, err
 		}
 	}
+	var traceBytes int64
+	for _, g := range goldens {
+		traceBytes += g.TraceBytes()
+	}
+	telemetry.Default.Gauge("inject.golden_trace_bytes").Set(traceBytes)
 	return goldens, nil
 }

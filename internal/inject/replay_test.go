@@ -1,0 +1,90 @@
+package inject
+
+import (
+	"bytes"
+	"testing"
+
+	"lockstep/internal/telemetry"
+)
+
+// TestLegacyOracleDatasetIdentical is the campaign-level differential
+// test: the same config run on the golden-trace replay path and on the
+// legacy dual-CPU oracle (Config.Legacy) must produce byte-identical
+// datasets — every record and the CSV serialization. Together with
+// TestWorkerCountInvariance this pins the replay optimization to the
+// pre-existing semantics at any worker count.
+func TestLegacyOracleDatasetIdentical(t *testing.T) {
+	replay := invarianceConfig()
+	replay.Kernels = []string{"ttsprk", "rspeed"}
+	replay.Workers = 4
+	a, err := Run(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := replay
+	legacy.Legacy = true
+	b, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a.Len() != b.Len() {
+		t.Fatalf("dataset lengths differ: replay=%d legacy=%d", a.Len(), b.Len())
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between paths:\nreplay: %+v\nlegacy: %+v",
+				i, a.Records[i], b.Records[i])
+		}
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("CSV serializations differ between replay and legacy paths")
+	}
+}
+
+// replayTelemetry reads the trace footprint gauge and restore counter
+// from the default registry.
+func replayTelemetry() (traceBytes, restores int64, haveGauge bool) {
+	snap := telemetry.Default.Snapshot()
+	for _, g := range snap.Gauges {
+		if g.Name == "inject.golden_trace_bytes" {
+			traceBytes, haveGauge = g.Value, true
+		}
+	}
+	for _, c := range snap.Counters {
+		if c.Name == "inject.replay_restores" {
+			restores = c.Value
+		}
+	}
+	return traceBytes, restores, haveGauge
+}
+
+// TestReplayTelemetry: a replay campaign publishes the golden-trace
+// memory footprint gauge and bumps the restore counter at least once per
+// experiment (each experiment repositions its worker's replay image).
+func TestReplayTelemetry(t *testing.T) {
+	_, restoresBefore, _ := replayTelemetry()
+	cfg := smallConfig()
+	ds, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBytes, restoresAfter, haveGauge := replayTelemetry()
+	if !haveGauge {
+		t.Fatal("inject.golden_trace_bytes gauge not published")
+	}
+	if traceBytes <= 0 {
+		t.Fatalf("inject.golden_trace_bytes = %d, want > 0", traceBytes)
+	}
+	if got := restoresAfter - restoresBefore; got < int64(ds.Len()) {
+		t.Fatalf("inject.replay_restores grew by %d over a %d-experiment campaign", got, ds.Len())
+	}
+}

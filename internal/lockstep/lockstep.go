@@ -14,11 +14,39 @@ package lockstep
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"sync"
 
 	"lockstep/internal/cpu"
 	"lockstep/internal/mem"
 	"lockstep/internal/telemetry"
 	"lockstep/internal/workload"
+)
+
+// dsrTel caches the telemetry handles for one DSR source so the
+// injection hot path records detections with pure atomic operations —
+// no registry lookup, no key formatting, zero heap allocations. Handles
+// are created on first detection, preserving the "metric appears when it
+// first fires" snapshot behaviour.
+type dsrTel struct {
+	once sync.Once
+	det  *telemetry.Counter
+	pop  *telemetry.Histogram
+}
+
+func (t *dsrTel) record(source string, dsr uint64) {
+	t.once.Do(func() {
+		t.det = telemetry.Default.Counter("lockstep.detections", telemetry.L("source", source))
+		t.pop = telemetry.Default.Histogram("lockstep.dsr_popcount", telemetry.PopBuckets,
+			telemetry.L("source", source))
+	})
+	t.det.Inc()
+	t.pop.Observe(int64(bits.OnesCount64(dsr)))
+}
+
+var (
+	injectDSRTel  dsrTel
+	checkerDSRTel dsrTel
 )
 
 // recordDSR logs the bit population of a latched DSR to the default
@@ -29,9 +57,11 @@ import (
 // (DSR after the full stop-latency accumulation window) or "checker" for
 // a live Checker latch (first-divergence map).
 func recordDSR(source string, dsr uint64) {
-	telemetry.Default.Counter("lockstep.detections", telemetry.L("source", source)).Inc()
-	telemetry.Default.Histogram("lockstep.dsr_popcount", telemetry.PopBuckets,
-		telemetry.L("source", source)).Observe(int64(bits.OnesCount64(dsr)))
+	if source == "inject" {
+		injectDSRTel.record(source, dsr)
+		return
+	}
+	checkerDSRTel.record(source, dsr)
 }
 
 // FaultKind is the class of injected fault.
@@ -85,20 +115,58 @@ func (o Outcome) ManifestationCycles(inj Injection) int {
 }
 
 // Golden is a recorded fault-free execution of one kernel with periodic
-// state snapshots, shared by all injections into that kernel.
+// state snapshots and a full per-cycle golden trace, shared by all
+// injections into that kernel.
 //
-// A Golden is immutable once NewGolden returns: Inject and InjectW build
-// fresh simulator instances (memory system, main CPU, redundant CPU) from
-// the snapshots on every call and never write back, so concurrent
-// injections against one shared Golden are safe and produce outcomes
-// identical to serial execution. Callers that want hard isolation anyway
-// (e.g. per-worker instances) can Clone.
+// A Golden is immutable once NewGolden returns: Inject and InjectW
+// restore per-call (or per-worker, via Replayer) scratch state from the
+// snapshots and trace and never write back, so concurrent injections
+// against one shared Golden are safe and produce outcomes identical to
+// serial execution. Callers that want an independent handle anyway (e.g.
+// per-worker instances) can Clone.
 type Golden struct {
 	Kernel      *workload.Kernel
 	Entry       uint32
 	TotalCycles int
 
 	snaps []snapshot
+	trace goldenTrace
+}
+
+// goldenTrace is the per-cycle record of the fault-free execution that
+// lets the injection hot path simulate only the faulty CPU: the main
+// (golden) CPU's behaviour is identical across all experiments on a
+// kernel, so it is computed exactly once, at NewGolden time.
+//
+// Indexing: out[c] and fp[c] describe the golden CPU state at the end of
+// cycle c (index 0 is reset state), so they have TotalCycles+1 entries.
+type goldenTrace struct {
+	// out is the registered output port the checker would compare each
+	// cycle; replayed injections diff the faulty CPU's outputs against it
+	// instead of re-simulating the main CPU.
+	out []cpu.OutVec
+	// fp is the per-cycle state fingerprint (cpu.Fingerprint) used as the
+	// soft-fault convergence filter; the full cpu.State is kept only at
+	// snapshots, and candidate convergences are confirmed exactly against
+	// a reconstructed golden state.
+	fp []uint64
+	// writes is the golden RAM write log a mem.ReplayBus uses to drive
+	// the memory image forward without a live main CPU.
+	writes []mem.WriteEvent
+	// reads is the bus read data the golden CPU consumed, kept for the
+	// trace self-check (a fault-free replay must consume the identical
+	// stream) and replay debugging.
+	reads []mem.ReadEvent
+}
+
+// TraceBytes reports the approximate heap footprint of the golden trace,
+// published by the campaign driver as the inject.golden_trace_bytes
+// gauge.
+func (g *Golden) TraceBytes() int64 {
+	return int64(len(g.trace.out))*int64(cpu.NumSC*4) +
+		int64(len(g.trace.fp))*8 +
+		int64(len(g.trace.writes))*mem.WriteEventBytes +
+		int64(len(g.trace.reads))*mem.ReadEventBytes
 }
 
 type snapshot struct {
@@ -108,8 +176,11 @@ type snapshot struct {
 	ext   mem.ExtPort
 }
 
-// NewGolden runs the kernel fault-free for totalCycles and snapshots the
-// full system state every snapEvery cycles (snapshot 0 is reset state).
+// NewGolden runs the kernel fault-free for totalCycles, snapshots the
+// full system state every snapEvery cycles (snapshot 0 is reset state),
+// and records the per-cycle golden trace (output vectors, state
+// fingerprints, RAM write log, consumed read data) the replay injection
+// path runs against.
 func NewGolden(k *workload.Kernel, totalCycles, snapEvery int) (*Golden, error) {
 	if totalCycles <= 0 || snapEvery <= 0 {
 		return nil, fmt.Errorf("lockstep: bad golden config %d/%d", totalCycles, snapEvery)
@@ -119,17 +190,27 @@ func NewGolden(k *workload.Kernel, totalCycles, snapEvery int) (*Golden, error) 
 		return nil, err
 	}
 	g := &Golden{Kernel: k, Entry: entry, TotalCycles: totalCycles}
-	c := cpu.New(sys, entry)
+	g.trace.out = make([]cpu.OutVec, totalCycles+1)
+	g.trace.fp = make([]uint64, totalCycles+1)
+	rec := &mem.Recorder{Sys: sys}
+	c := cpu.New(rec, entry)
 	g.snap(c, sys, 0)
+	g.trace.out[0] = c.State.Outputs()
+	g.trace.fp[0] = cpu.Fingerprint(&c.State)
 	for cyc := 1; cyc <= totalCycles; cyc++ {
+		rec.Cycle = int32(cyc)
 		c.StepCycle()
 		if c.State.Trapped() {
 			return nil, fmt.Errorf("lockstep: golden %s trapped at cycle %d", k.Name, cyc)
 		}
+		g.trace.out[cyc] = c.State.Outputs()
+		g.trace.fp[cyc] = cpu.Fingerprint(&c.State)
 		if cyc%snapEvery == 0 {
 			g.snap(c, sys, cyc)
 		}
 	}
+	g.trace.writes = rec.Writes
+	g.trace.reads = rec.Reads
 	return g, nil
 }
 
@@ -142,33 +223,34 @@ func (g *Golden) snap(c *cpu.CPU, sys *mem.System, cycle int) {
 	})
 }
 
-// Clone returns an independent deep copy of the golden run: the snapshot
-// RAM images are copied, so injections against the clone share no memory
-// with the original. Cloning is much cheaper than re-recording the golden
-// run (a memcpy per snapshot instead of a full cycle-accurate simulation).
+// Clone returns an independent Golden handle. Snapshot RAM images and
+// the golden trace are immutable after NewGolden — every injection path
+// restores into its own scratch buffers and never writes back — so the
+// clone shares them with the original: cloning is a header copy, not a
+// multi-megabyte deep copy, and per-worker clones cost nothing.
 func (g *Golden) Clone() *Golden {
-	out := &Golden{Kernel: g.Kernel, Entry: g.Entry, TotalCycles: g.TotalCycles}
-	out.snaps = make([]snapshot, len(g.snaps))
-	for i, s := range g.snaps {
-		ram := make([]uint32, len(s.ram))
-		copy(ram, s.ram)
-		out.snaps[i] = snapshot{cycle: s.cycle, cpu: s.cpu, ram: ram, ext: s.ext}
+	out := *g
+	out.snaps = append([]snapshot(nil), g.snaps...)
+	return &out
+}
+
+// snapIndex returns the index of the latest snapshot at or before cycle
+// (binary search; snapshots are in strictly ascending cycle order and
+// snapshot 0 is reset state, so every non-negative cycle resolves).
+func (g *Golden) snapIndex(cycle int) int {
+	i := sort.Search(len(g.snaps), func(i int) bool { return g.snaps[i].cycle > cycle })
+	if i == 0 {
+		return 0
 	}
-	return out
+	return i - 1
 }
 
 // restore returns a fresh system and golden CPU positioned at the latest
-// snapshot at or before cycle, plus that snapshot's cycle number.
+// snapshot at or before cycle, plus that snapshot's cycle number. It is
+// the legacy dual-CPU path's entry point; the replay path positions a
+// mem.ReplayBus instead (see Replayer).
 func (g *Golden) restore(cycle int) (*mem.System, *cpu.CPU, int) {
-	idx := 0
-	for i, s := range g.snaps {
-		if s.cycle <= cycle {
-			idx = i
-		} else {
-			break
-		}
-	}
-	s := &g.snaps[idx]
+	s := &g.snaps[g.snapIndex(cycle)]
 	sys := mem.NewSystem()
 	sys.RestoreRAM(s.ram)
 	*sys.Ext() = s.ext
@@ -176,12 +258,12 @@ func (g *Golden) restore(cycle int) (*mem.System, *cpu.CPU, int) {
 	return sys, c, s.cycle
 }
 
-// Inject runs one fault-injection experiment: the golden (main) CPU drives
-// the memory system; the redundant CPU consumes the same inputs and has
-// fault forcing applied; the checker compares output ports every cycle.
-// The run ends at detection, at state re-convergence (soft faults), or at
-// the golden run's horizon. The DSR accumulates for the default
-// StopLatency window.
+// Inject runs one fault-injection experiment on the golden-trace replay
+// path: only the redundant CPU is simulated, fed by a mem.ReplayBus, and
+// its outputs are compared against the precomputed golden trace. The run
+// ends at detection, at state re-convergence (soft faults), or at the
+// golden run's horizon. The DSR accumulates for the default StopLatency
+// window. Outcomes are bit-identical to the dual-CPU InjectLegacy oracle.
 func (g *Golden) Inject(inj Injection) Outcome {
 	return g.InjectW(inj, StopLatency)
 }
@@ -190,7 +272,31 @@ func (g *Golden) Inject(inj Injection) Outcome {
 // number of cycles the DSR keeps OR-accumulating after the first
 // divergence before the CPUs stop. window <= 1 latches only the
 // first-divergence map. Exposed for the stop-window sensitivity ablation.
+//
+// Per-call scratch comes from a shared pool; campaign workers that want
+// strictly per-worker buffers hold a Replayer and call its InjectW.
 func (g *Golden) InjectW(inj Injection, window int) Outcome {
+	r := replayerPool.Get().(*Replayer)
+	out := r.InjectW(g, inj, window)
+	replayerPool.Put(r)
+	return out
+}
+
+// replayerPool recycles Replayer scratch (two RAM-sized image buffers)
+// across ad-hoc Golden.Inject/InjectW calls.
+var replayerPool = sync.Pool{New: func() any { return NewReplayer() }}
+
+// InjectLegacy is the original dual-CPU experiment: the golden (main)
+// CPU is re-simulated to drive the memory system while the redundant CPU
+// consumes the same inputs with fault forcing applied. It is twice the
+// simulation work of the replay path and is kept as the differential-
+// testing oracle (and behind the campaign drivers' -legacy-inject flag).
+func (g *Golden) InjectLegacy(inj Injection) Outcome {
+	return g.InjectLegacyW(inj, StopLatency)
+}
+
+// InjectLegacyW is InjectLegacy with an explicit checker stop window.
+func (g *Golden) InjectLegacyW(inj Injection, window int) Outcome {
 	if inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
 		return Outcome{}
 	}

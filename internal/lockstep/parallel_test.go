@@ -51,8 +51,11 @@ func TestConcurrentInjectMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestGoldenClone: a clone is fully independent (injections against it
-// match the original, and neither observes the other's runs).
+// TestGoldenClone: a clone is an independent handle (injections against
+// it match the original) built as a cheap header copy — snapshot RAM and
+// the golden trace are immutable after NewGolden, so the clone is
+// expected to SHARE them with the original rather than deep-copy
+// megabytes per worker.
 func TestGoldenClone(t *testing.T) {
 	k := workload.ByName("ttsprk")
 	g, err := NewGolden(k, 3000, 500)
@@ -67,9 +70,17 @@ func TestGoldenClone(t *testing.T) {
 		t.Fatalf("clone has %d snapshots, original %d", len(c.snaps), len(g.snaps))
 	}
 	for i := range g.snaps {
-		if &c.snaps[i].ram[0] == &g.snaps[i].ram[0] {
-			t.Fatalf("snapshot %d RAM aliases the original", i)
+		if &c.snaps[i].ram[0] != &g.snaps[i].ram[0] {
+			t.Fatalf("snapshot %d RAM deep-copied: clones must share immutable snapshots", i)
 		}
+	}
+	if len(g.trace.out) > 0 && &c.trace.out[0] != &g.trace.out[0] {
+		t.Fatal("golden trace deep-copied: clones must share the immutable trace")
+	}
+	// The snapshot slice itself is copied into a fresh backing array, so
+	// a mutation of a clone's headers can never leak into the original.
+	if &c.snaps[0] == &g.snaps[0] {
+		t.Fatal("clone snapshot slice aliases the original's backing array")
 	}
 	injs := []Injection{
 		{Flop: 3, Kind: SoftFlip, Cycle: 700},

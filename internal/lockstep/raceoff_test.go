@@ -1,0 +1,5 @@
+//go:build !race
+
+package lockstep
+
+const raceEnabled = false

@@ -1,0 +1,167 @@
+package mem
+
+import "sort"
+
+// This file implements golden-trace memory replay: the campaign's
+// injection hot path steps only the redundant (faulty) CPU, so something
+// else has to play the role the main CPU used to play — driving the
+// memory image forward cycle by cycle. During the one-time golden run a
+// Recorder logs every RAM write (and the read data the CPU consumed);
+// afterwards a ReplayBus can reconstruct the main-CPU-visible memory
+// image at any cycle of the golden timeline and serve reads for ANY
+// address, which matters because a faulty redundant CPU may fetch or
+// load from addresses the golden run never touched.
+
+// WriteEvent is one golden RAM write, tagged with the cycle whose clock
+// edge committed it. Events are logged in execution order, which is also
+// ascending (stable) cycle order.
+type WriteEvent struct {
+	Cycle int32  // golden cycle the write landed
+	Addr  uint32 // word-aligned RAM address
+	Data  uint32
+	Mask  uint32 // expanded byte-lane mask
+}
+
+// ReadEvent is one word of bus read data the golden CPU consumed
+// (instruction fetch, TCM load or BIU read), in execution order.
+type ReadEvent struct {
+	Cycle int32
+	Addr  uint32
+	Data  uint32
+}
+
+// Sizes of the trace event records, for footprint accounting.
+const (
+	WriteEventBytes = 16
+	ReadEventBytes  = 12
+)
+
+// Recorder wraps a System for golden-trace recording: all traffic is
+// forwarded unchanged, RAM-region writes are appended to Writes and every
+// read's consumed data to Reads, tagged with the caller-maintained Cycle.
+// The recorded write log is what lets a ReplayBus stand in for the main
+// CPU during injection replay; the read log pins the exact input stream
+// for the trace self-check tests.
+type Recorder struct {
+	Sys    *System
+	Cycle  int32
+	Writes []WriteEvent
+	Reads  []ReadEvent
+}
+
+// ReadWord implements Bus, logging the consumed data.
+func (r *Recorder) ReadWord(addr uint32) uint32 {
+	w := r.Sys.ReadWord(addr)
+	r.Reads = append(r.Reads, ReadEvent{Cycle: r.Cycle, Addr: addr &^ 3, Data: w})
+	return w
+}
+
+// WriteMasked implements Bus, logging writes that land in RAM. External
+// (peripheral) writes are forwarded but not logged: replayed reads from
+// the external region are pure (SensorValue), so peripheral state never
+// feeds back into a replayed CPU.
+func (r *Recorder) WriteMasked(addr, data, mask uint32) {
+	r.Sys.WriteMasked(addr, data, mask)
+	if addr < RAMBytes {
+		r.Writes = append(r.Writes, WriteEvent{Cycle: r.Cycle, Addr: addr &^ 3, Data: data, Mask: mask})
+	}
+}
+
+// ReplayBus serves a redundant CPU the exact memory inputs a live
+// main-CPU-driven System would have: reads come from a RAM image
+// reconstructed at the bus's current golden cycle (external reads are the
+// pure SensorValue pattern), and writes are discarded, because a
+// compare-only CPU never drives the bus (Monitor semantics).
+//
+// The image is positioned with Load (full snapshot copy) and moved with
+// AdvanceTo / Seek. Seek is incremental: repositioning touches only the
+// words the golden write log says changed between the old and new
+// positions, so a worker reusing one ReplayBus across thousands of
+// experiments pays word-sized deltas instead of a 256 KiB memcpy per
+// experiment. The zero value is valid; the image buffer is allocated on
+// first Load and reused forever after (zero-realloc discipline).
+type ReplayBus struct {
+	ram   []uint32
+	log   []WriteEvent
+	pos   int // index of the first log entry with Cycle > cycle
+	cycle int // the image reflects golden RAM at the end of this cycle
+}
+
+// Cycle returns the golden cycle the image currently reflects.
+func (r *ReplayBus) Cycle() int { return r.cycle }
+
+// Load positions the bus on a new golden timeline: the image becomes a
+// copy of snapRAM (the full RAM image snapshotted at the end of
+// snapCycle) and log becomes the timeline's write history. Use Seek for
+// subsequent repositioning on the same timeline.
+func (r *ReplayBus) Load(snapRAM []uint32, snapCycle int, log []WriteEvent) {
+	if r.ram == nil {
+		r.ram = make([]uint32, RAMBytes/4)
+	}
+	n := copy(r.ram, snapRAM)
+	for i := n; i < len(r.ram); i++ {
+		r.ram[i] = 0
+	}
+	r.log = log
+	r.cycle = snapCycle
+	r.pos = sort.Search(len(log), func(i int) bool { return int(log[i].Cycle) > snapCycle })
+}
+
+// AdvanceTo applies all golden writes up to and including cycle, moving
+// the image forward on its timeline. The injection loop calls this right
+// before stepping the redundant CPU for a cycle, mirroring the legacy
+// dual-CPU ordering where the main CPU's writes of cycle N are visible to
+// the redundant CPU stepping cycle N.
+func (r *ReplayBus) AdvanceTo(cycle int) {
+	for r.pos < len(r.log) && int(r.log[r.pos].Cycle) <= cycle {
+		e := &r.log[r.pos]
+		i := e.Addr / 4
+		r.ram[i] = r.ram[i]&^e.Mask | e.Data&e.Mask
+		r.pos++
+	}
+	r.cycle = cycle
+}
+
+// Seek repositions the image to the end of golden cycle target on the
+// timeline installed by the last Load. snapRAM/snapCycle must be a golden
+// snapshot at or before target (the rewind source). Moving forward is a
+// plain AdvanceTo; moving backward resets only the words written in
+// (target, current] to their snapshot values and replays the writes in
+// (snapCycle, target], both tiny compared to a full image copy.
+func (r *ReplayBus) Seek(snapRAM []uint32, snapCycle, target int) {
+	if target >= r.cycle {
+		r.AdvanceTo(target)
+		return
+	}
+	lo := sort.Search(len(r.log), func(i int) bool { return int(r.log[i].Cycle) > target })
+	// Undo writes beyond target: back to the snapshot's view of the word.
+	for _, e := range r.log[lo:r.pos] {
+		r.ram[e.Addr/4] = snapRAM[e.Addr/4]
+	}
+	// Re-apply the writes between the snapshot and the target, in order.
+	// Applying a write whose effect is already present is idempotent, so
+	// words untouched by the undo loop come out unchanged.
+	start := sort.Search(len(r.log), func(i int) bool { return int(r.log[i].Cycle) > snapCycle })
+	for _, e := range r.log[start:lo] {
+		i := e.Addr / 4
+		r.ram[i] = r.ram[i]&^e.Mask | e.Data&e.Mask
+	}
+	r.pos = lo
+	r.cycle = target
+}
+
+// ReadWord implements Bus against the reconstructed image.
+func (r *ReplayBus) ReadWord(addr uint32) uint32 {
+	if addr >= ExtBase {
+		return SensorValue(addr)
+	}
+	i := addr / 4
+	if int(i) >= len(r.ram) {
+		return 0
+	}
+	return r.ram[i]
+}
+
+// WriteMasked implements Bus by dropping the write, exactly like Monitor:
+// a faulty redundant CPU cannot corrupt the golden image.
+func (r *ReplayBus) WriteMasked(addr, data, mask uint32) {}

@@ -20,7 +20,9 @@ func goldenRegistry() *Registry {
 		L("kernel", "ttsprk"), L("kind", "soft"), L("outcome", "converged")).Add(17)
 	r.Counter("inject.outcomes",
 		L("kernel", "ttsprk"), L("kind", "stuck-at-1"), L("outcome", "detected")).Add(63)
+	r.Counter("inject.replay_restores").Add(122)
 	r.Gauge("inject.workers").Set(4)
+	r.Gauge("inject.golden_trace_bytes").Set(3 * 1024 * 1024)
 	h := r.Histogram("inject.detect_latency", CycleBuckets, L("kernel", "ttsprk"), L("kind", "soft"))
 	for _, v := range []int64{3, 5, 9, 17, 33, 65, 129, 257, 1025, 70000} {
 		h.Observe(v)
