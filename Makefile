@@ -1,13 +1,15 @@
 # CI entry points. `make ci` is the gate: vet, build, the full test suite
 # under the race detector, the campaign determinism check (a serial vs
 # workers=4 Small-scale campaign must be byte-identical, and the replay
-# path must match the legacy dual-CPU oracle), the telemetry concurrency
-# tests under -race, and the injection hot-path allocation guard.
+# path must match the legacy dual-CPU oracle), the crash-safety check
+# (kill/resume at any point must reproduce the byte-identical dataset),
+# the telemetry concurrency tests under -race, and the injection hot-path
+# allocation guard.
 GO ?= go
 
-.PHONY: ci vet build test race determinism telemetry alloc cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism telemetry alloc cover bench bench-quick fuzz
 
-ci: vet build race determinism telemetry alloc
+ci: vet build race determinism resume-determinism telemetry alloc
 
 vet:
 	$(GO) vet ./...
@@ -29,22 +31,35 @@ determinism:
 	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial|TestReplayMatchesLegacyOracle|TestLegacyOracleDatasetIdentical|TestGoldenTraceSelfCheck' -count=1 \
 		./internal/inject/ ./internal/lockstep/
 
+# The crash-safety contracts, explicitly: resuming a campaign from any
+# checkpoint prefix (in-process truncation) or after a SIGKILL of the real
+# binary at a seeded random checkpoint boundary (subprocess) must
+# reproduce the uninterrupted dataset byte for byte, and -resume must
+# refuse corrupt checkpoints and config mismatches with a named field.
+resume-determinism:
+	$(GO) test -run 'TestResumeProducesIdenticalDataset|TestResumeConfigMismatch|TestResumeRefusesBadCheckpoint|TestPanicContainment' -count=1 ./internal/inject/
+	$(GO) test -run 'TestKillResumeEquivalence|TestCLIResumeRefusals' -count=1 ./cmd/lockstep-inject/
+
 # The telemetry layer's own contract, under -race: exact totals from
 # NumCPU hammering goroutines, monotone histogram buckets, and
 # byte-deterministic snapshots.
 telemetry:
 	$(GO) test -race -count=1 ./internal/telemetry/
 
-# Coverage report with a per-package floor: internal/telemetry is the
-# observability backbone and must stay >= 60% statement-covered.
+# Coverage report with per-package floors: internal/telemetry is the
+# observability backbone (>= 60%), internal/inject carries the campaign,
+# checkpoint and containment machinery (>= 75%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@pct=$$($(GO) test -cover ./internal/telemetry/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
-	if [ -z "$$pct" ]; then echo "cover: could not measure internal/telemetry coverage"; exit 1; fi; \
-	ok=$$(awk -v p="$$pct" 'BEGIN { print (p >= 60) ? 1 : 0 }'); \
-	if [ "$$ok" != "1" ]; then echo "cover: internal/telemetry $$pct% below the 60% floor"; exit 1; fi; \
-	echo "cover: internal/telemetry $$pct% (floor 60%)"
+	@for spec in internal/telemetry:60 internal/inject:75; do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$floor" 'BEGIN { print (p >= f) ? 1 : 0 }'); \
+		if [ "$$ok" != "1" ]; then echo "cover: $$pkg $$pct% below the $$floor% floor"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+	done
 
 # Allocation regression guard for the injection hot path: steady-state
 # Replayer.InjectW must perform zero heap allocations. Run without -race
@@ -61,6 +76,8 @@ bench:
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy)$$' -benchmem -benchtime=200ms .
 
-# Short fuzz pass over the campaign-log parser.
+# Short fuzz passes over the campaign-log parser and the checkpoint
+# decoder.
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
+	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/

@@ -8,6 +8,7 @@
 //	lockstep-experiments [-scale small|default|full] [-exp all|table1|...]
 //	                     [-data campaign.csv] [-save campaign.csv]
 //	                     [-html report.html] [-workers N] [-quiet]
+//	                     [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                     [-metrics snapshot.json] [-pprof addr]
 //	                     [-legacy-inject]
 //
@@ -17,6 +18,13 @@
 // -legacy-inject runs the campaign on the original dual-CPU simulation
 // instead of golden-trace replay — bit-identical dataset at roughly half
 // the throughput, kept as the differential-testing oracle.
+//
+// -checkpoint makes the campaign phase crash-safe (an atomic resumable
+// checkpoint every -checkpoint-every completed experiments); after an
+// interruption, rerunning with -resume continues the campaign from the
+// checkpoint and still reproduces the byte-identical dataset, then runs
+// the selected experiments. -resume refuses on a corrupt checkpoint or
+// when any schedule-relevant flag differs from the checkpointed campaign.
 //
 // Experiments: table1 units table2 table3 table4 fig4 fig5 fig11 fig12
 // fig13 fig14 fig15 fig16 onoffchip lbist spread ablation window summary
@@ -44,30 +52,50 @@ import (
 	"lockstep/internal/core"
 )
 
+// options carries every CLI knob of one invocation.
+type options struct {
+	scaleName  string
+	expList    string
+	dataPath   string
+	savePath   string
+	htmlPath   string
+	metrics    string
+	pprofAddr  string
+	checkpoint string
+	ckptEvery  int
+	resume     bool
+	workers    int
+	legacy     bool
+	quiet      bool
+}
+
 func main() {
-	var (
-		scaleName = flag.String("scale", "default", "campaign scale: small, default or full")
-		expList   = flag.String("exp", "all", "comma-separated experiments to run (see doc)")
-		dataPath  = flag.String("data", "", "load campaign log from CSV instead of re-running")
-		savePath  = flag.String("save", "", "save the campaign log to CSV")
-		htmlPath  = flag.String("html", "", "also write a self-contained HTML report with SVG charts")
-		workers   = flag.Int("workers", 0, "parallel campaign workers (0 = all CPUs)")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
-		legacy    = flag.Bool("legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
-	)
+	var o options
+	flag.StringVar(&o.scaleName, "scale", "default", "campaign scale: small, default or full")
+	flag.StringVar(&o.expList, "exp", "all", "comma-separated experiments to run (see doc)")
+	flag.StringVar(&o.dataPath, "data", "", "load campaign log from CSV instead of re-running")
+	flag.StringVar(&o.savePath, "save", "", "save the campaign log to CSV")
+	flag.StringVar(&o.htmlPath, "html", "", "also write a self-contained HTML report with SVG charts")
+	flag.IntVar(&o.workers, "workers", 0, "parallel campaign workers (0 = all CPUs)")
+	flag.BoolVar(&o.quiet, "quiet", false, "suppress progress output")
+	flag.StringVar(&o.metrics, "metrics", "", "write the telemetry JSON snapshot to this path after the run")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	flag.BoolVar(&o.legacy, "legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "periodically write an atomic resumable campaign checkpoint to this path")
+	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
+	flag.BoolVar(&o.resume, "resume", false, "resume the campaign from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
 	flag.Parse()
 
-	if err := run(*scaleName, *expList, *dataPath, *savePath, *htmlPath, *metrics, *pprofAddr, *workers, *legacy, *quiet); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAddr string, workers int, legacy, quiet bool) error {
-	if pprofAddr != "" {
-		url, err := telemetry.ServeDebug(pprofAddr)
+func run(o options) error {
+	quiet := o.quiet
+	if o.pprofAddr != "" {
+		url, err := telemetry.ServeDebug(o.pprofAddr)
 		if err != nil {
 			return err
 		}
@@ -75,18 +103,21 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 			fmt.Fprintf(os.Stderr, "debug server: %s/debug/pprof/ (metrics at /debug/vars)\n", url)
 		}
 	}
-	scale, err := experiments.ScaleByName(scaleName)
+	scale, err := experiments.ScaleByName(o.scaleName)
 	if err != nil {
 		return err
 	}
-	if workers > 0 {
-		scale = scale.WithWorkers(workers)
+	if o.workers > 0 {
+		scale = scale.WithWorkers(o.workers)
 	}
-	scale.Legacy = legacy
+	scale.Legacy = o.legacy
+	scale.Checkpoint = o.checkpoint
+	scale.CheckpointEvery = o.ckptEvery
+	scale.Resume = o.resume
 
 	var ctx *experiments.Context
-	if dataPath != "" {
-		f, err := os.Open(dataPath)
+	if o.dataPath != "" {
+		f, err := os.Open(o.dataPath)
 		if err != nil {
 			return err
 		}
@@ -100,7 +131,7 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 			return err
 		}
 		if !quiet {
-			fmt.Printf("loaded %d experiments from %s\n", ds.Len(), dataPath)
+			fmt.Printf("loaded %d experiments from %s\n", ds.Len(), o.dataPath)
 		}
 	} else {
 		progress := func(done, total int) {
@@ -132,8 +163,8 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 		}
 	}
 
-	if savePath != "" {
-		f, err := os.Create(savePath)
+	if o.savePath != "" {
+		f, err := os.Create(o.savePath)
 		if err != nil {
 			return err
 		}
@@ -145,12 +176,12 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 			return err
 		}
 		if !quiet {
-			fmt.Printf("saved campaign log to %s\n", savePath)
+			fmt.Printf("saved campaign log to %s\n", o.savePath)
 		}
 	}
 
-	if htmlPath != "" {
-		f, err := os.Create(htmlPath)
+	if o.htmlPath != "" {
+		f, err := os.Create(o.htmlPath)
 		if err != nil {
 			return err
 		}
@@ -162,12 +193,12 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 			return err
 		}
 		if !quiet {
-			fmt.Printf("wrote HTML report to %s\n", htmlPath)
+			fmt.Printf("wrote HTML report to %s\n", o.htmlPath)
 		}
 	}
 
 	want := map[string]bool{}
-	for _, e := range strings.Split(expList, ",") {
+	for _, e := range strings.Split(o.expList, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
@@ -259,14 +290,14 @@ func run(scaleName, expList, dataPath, savePath, htmlPath, metricsPath, pprofAdd
 		ran = true
 	}
 	if !ran {
-		return fmt.Errorf("no known experiment in %q", expList)
+		return fmt.Errorf("no known experiment in %q", o.expList)
 	}
-	if metricsPath != "" {
-		if err := writeMetrics(metricsPath); err != nil {
+	if o.metrics != "" {
+		if err := writeMetrics(o.metrics); err != nil {
 			return err
 		}
 		if !quiet {
-			fmt.Printf("wrote telemetry snapshot to %s\n", metricsPath)
+			fmt.Printf("wrote telemetry snapshot to %s\n", o.metrics)
 		}
 	}
 	return nil

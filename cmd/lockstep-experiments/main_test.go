@@ -45,10 +45,10 @@ func TestRunFromDataAllExperiments(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
 
-	if err := run("small", "all", path, "", "", "", "", 0, false, true); err != nil {
+	if err := run(options{scaleName: "small", expList: "all", dataPath: path, quiet: true}); err != nil {
 		t.Fatalf("run all: %v", err)
 	}
-	if err := run("small", "table1,fig12", path, "", "", "", "", 0, false, true); err != nil {
+	if err := run(options{scaleName: "small", expList: "table1,fig12", dataPath: path, quiet: true}); err != nil {
 		t.Fatalf("run subset: %v", err)
 	}
 }
@@ -64,7 +64,7 @@ func TestRunSaveRoundTrip(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table2", path, save, "", "", "", 0, false, true); err != nil {
+	if err := run(options{scaleName: "small", expList: "table2", dataPath: path, savePath: save, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(path)
@@ -91,7 +91,7 @@ func TestRunWritesHTMLReport(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table1", path, "", html, "", "", 0, false, true); err != nil {
+	if err := run(options{scaleName: "small", expList: "table1", dataPath: path, htmlPath: html, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(html)
@@ -116,7 +116,7 @@ func TestRunWritesMetricsSnapshot(t *testing.T) {
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
 
-	if err := run("small", "table1", path, "", "", snapPath, "", 0, false, true); err != nil {
+	if err := run(options{scaleName: "small", expList: "table1", dataPath: path, metrics: snapPath, quiet: true}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(snapPath)
@@ -142,10 +142,10 @@ func TestRunWritesMetricsSnapshot(t *testing.T) {
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("bogus-scale", "all", "", "", "", "", "", 0, false, true); err == nil {
+	if err := run(options{scaleName: "bogus-scale", expList: "all", quiet: true}); err == nil {
 		t.Fatal("bad scale accepted")
 	}
-	if err := run("small", "all", "/nonexistent/campaign.csv", "", "", "", "", 0, false, true); err == nil {
+	if err := run(options{scaleName: "small", expList: "all", dataPath: "/nonexistent/campaign.csv", quiet: true}); err == nil {
 		t.Fatal("missing data file accepted")
 	}
 	path := writeSmallCampaign(t)
@@ -153,7 +153,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	os.Stdout = null
 	defer func() { os.Stdout = old; null.Close() }()
-	if err := run("small", "nosuchexperiment", path, "", "", "", "", 0, false, true); err == nil {
+	if err := run(options{scaleName: "small", expList: "nosuchexperiment", dataPath: path, quiet: true}); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }

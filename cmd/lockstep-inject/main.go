@@ -8,6 +8,7 @@
 //
 //	lockstep-inject [-o campaign.csv] [-kernels a,b] [-cycles N]
 //	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
+//	                [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                [-metrics snapshot.json] [-pprof addr] [-legacy-inject]
 //
 // The campaign is sharded over -workers parallel executors (default: all
@@ -19,6 +20,14 @@
 // per-kind outcome counters, detection-latency histograms, DSR
 // bit-population stats) as JSON after the run; -pprof serves
 // net/http/pprof and expvar live during it.
+//
+// -checkpoint makes the campaign crash-safe: an atomic resumable
+// checkpoint is rewritten every -checkpoint-every completed experiments
+// and once more on completion. After a crash or kill, rerun the same
+// command with -resume to continue from the last checkpoint; the final
+// dataset is byte-identical to an uninterrupted run at any worker count.
+// -resume refuses (exit 1) on a corrupt checkpoint or when any
+// schedule-relevant flag differs from the checkpointed campaign.
 package main
 
 import (
@@ -46,6 +55,9 @@ func main() {
 		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		legacy    = flag.Bool("legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
+		ckpt      = flag.String("checkpoint", "", "periodically write an atomic resumable checkpoint to this path")
+		ckEvery   = flag.Int("checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
+		resume    = flag.Bool("resume", false, "resume from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
 	)
 	flag.Parse()
 
@@ -57,6 +69,9 @@ func main() {
 		Seed:                  *seed,
 		Workers:               *workers,
 		Legacy:                *legacy,
+		CheckpointPath:        *ckpt,
+		CheckpointEvery:       *ckEvery,
+		Resume:                *resume,
 	}
 	if *kernels != "" {
 		for _, k := range strings.Split(*kernels, ",") {

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"lockstep/internal/clitest"
 	"lockstep/internal/inject"
@@ -130,6 +132,108 @@ func TestMetricsSnapshotAndDeterminism(t *testing.T) {
 		if !foundLat || !foundPop {
 			t.Fatalf("%s: missing campaign histograms (latency=%v popcount=%v)", path, foundLat, foundPop)
 		}
+	}
+}
+
+// TestKillResumeEquivalence is the crash-safety acceptance test, against
+// the real binary: a campaign SIGKILLed at a seeded-random checkpoint
+// boundary and resumed with -resume must emit a dataset byte-identical to
+// an uninterrupted run — at workers=1 and workers=NumCPU.
+func TestKillResumeEquivalence(t *testing.T) {
+	dir := t.TempDir()
+
+	// Uninterrupted reference.
+	refCSV := filepath.Join(dir, "ref.csv")
+	if res := clitest.Exec(t, campaignArgs(refCSV, "", 1)...); res.Code != 0 {
+		t.Fatalf("reference campaign: exit %d, stderr: %s", res.Code, res.Stderr)
+	}
+	want, err := os.ReadFile(refCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := bytes.Count(want, []byte("\n")) - 1 // rows minus header
+
+	rng := rand.New(rand.NewSource(5)) // the campaign seed, reused for kill points
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			out := filepath.Join(dir, fmt.Sprintf("w%d.csv", workers))
+			ck := filepath.Join(dir, fmt.Sprintf("w%d.lsc", workers))
+			args := append(campaignArgs(out, "", workers),
+				"-checkpoint", ck, "-checkpoint-every", "10")
+
+			// Kill once the checkpoint covers a seeded random fraction of
+			// the plan; the atomic rename guarantees every poll sees a
+			// complete file or none.
+			target := 1 + rng.Intn(total/2)
+			p := clitest.Start(t, args...)
+			for {
+				snap, err := inject.ReadCheckpoint(ck)
+				if err == nil && snap.DoneCount() >= target {
+					break
+				}
+				if err != nil && !os.IsNotExist(err) {
+					t.Fatalf("poll checkpoint: %v", err)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			res := p.Kill()
+			if res.Code == 0 {
+				// The campaign beat the kill; the resume below must then be
+				// a pure restore, still byte-identical.
+				t.Logf("campaign finished before SIGKILL landed (target %d/%d)", target, total)
+			}
+
+			resume := append(args, "-resume")
+			if res := clitest.Exec(t, resume...); res.Code != 0 {
+				t.Fatalf("resume: exit %d, stderr: %s", res.Code, res.Stderr)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("resumed dataset (killed at >=%d/%d) is not byte-identical to the uninterrupted run", target, total)
+			}
+		})
+	}
+}
+
+// TestCLIResumeRefusals: the binary must exit 1 with a diagnostic when
+// -resume meets a corrupt checkpoint or a changed schedule flag — never
+// silently restart the campaign.
+func TestCLIResumeRefusals(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.csv")
+	ck := filepath.Join(dir, "ck.lsc")
+	args := append(campaignArgs(out, "", 1), "-checkpoint", ck)
+	if res := clitest.Exec(t, args...); res.Code != 0 {
+		t.Fatalf("campaign: exit %d, stderr: %s", res.Code, res.Stderr)
+	}
+
+	// Changed schedule flag: -seed differs from the checkpointed campaign.
+	mismatch := append(campaignArgs(out, "", 1), "-checkpoint", ck, "-resume")
+	for i, a := range mismatch {
+		if a == "-seed" {
+			mismatch[i+1] = "6"
+		}
+	}
+	res := clitest.Exec(t, mismatch...)
+	if res.Code != 1 || !strings.Contains(res.Stderr, "Seed") {
+		t.Fatalf("resume with changed -seed: exit %d, stderr %q (want exit 1 naming Seed)", res.Code, res.Stderr)
+	}
+
+	// Corrupt checkpoint: flip one byte.
+	data, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(ck, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res = clitest.Exec(t, append(args, "-resume")...)
+	if res.Code != 1 || !strings.Contains(res.Stderr, "checkpoint") {
+		t.Fatalf("resume from corrupt checkpoint: exit %d, stderr %q (want exit 1 mentioning checkpoint)", res.Code, res.Stderr)
 	}
 }
 

@@ -61,25 +61,76 @@ type Result struct {
 // the given CLI arguments and returns its output and exit code.
 func Exec(t *testing.T, args ...string) Result {
 	t.Helper()
+	return Start(t, args...).Wait()
+}
+
+// Proc is a command under test running in the background, so a test can
+// observe or signal it mid-flight — e.g. SIGKILL a campaign between two
+// checkpoint writes and assert that a resumed run completes the dataset.
+type Proc struct {
+	t              *testing.T
+	cmd            *exec.Cmd
+	stdout, stderr bytes.Buffer
+	waited         bool
+	res            Result
+}
+
+// Start launches the command under test without waiting for it. Callers
+// must eventually call Wait (directly or via Kill) to reap the process; a
+// cleanup hook kills it if the test forgets.
+func Start(t *testing.T, args ...string) *Proc {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatalf("clitest: cannot locate test binary: %v", err)
 	}
-	cmd := exec.Command(exe, args...)
-	cmd.Env = append(os.Environ(), EnvMarker+"=1")
-	var stdout, stderr bytes.Buffer
-	cmd.Stdout = &stdout
-	cmd.Stderr = &stderr
-	err = cmd.Run()
-	res := Result{Stdout: stdout.String(), Stderr: stderr.String()}
+	p := &Proc{t: t, cmd: exec.Command(exe, args...)}
+	p.cmd.Env = append(os.Environ(), EnvMarker+"=1")
+	p.cmd.Stdout = &p.stdout
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("clitest: start %v: %v", args, err)
+	}
+	t.Cleanup(func() {
+		if !p.waited {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	return p
+}
+
+// Kill SIGKILLs the subprocess — the hardest interruption a campaign can
+// suffer: no signal handler runs, no buffer is flushed — and reaps it.
+// The returned Result distinguishes a mid-flight kill (non-zero Code)
+// from a process that had already exited cleanly before the signal
+// landed (Code 0).
+func (p *Proc) Kill() Result {
+	p.t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		p.t.Fatalf("clitest: kill: %v", err)
+	}
+	return p.Wait()
+}
+
+// Wait reaps the subprocess and returns its output and exit code. Safe to
+// call more than once.
+func (p *Proc) Wait() Result {
+	p.t.Helper()
+	if p.waited {
+		return p.res
+	}
+	err := p.cmd.Wait()
+	p.waited = true
+	p.res = Result{Stdout: p.stdout.String(), Stderr: p.stderr.String()}
 	var xerr *exec.ExitError
 	switch {
 	case err == nil:
-		res.Code = 0
+		p.res.Code = 0
 	case errors.As(err, &xerr):
-		res.Code = xerr.ExitCode()
+		p.res.Code = xerr.ExitCode()
 	default:
-		t.Fatalf("clitest: exec %v: %v", args, err)
+		p.t.Fatalf("clitest: wait %v: %v", p.cmd.Args, err)
 	}
-	return res
+	return p.res
 }

@@ -29,6 +29,7 @@ type Record struct {
 	DetectCycle int
 	DSR         uint64
 	Converged   bool // soft fault provably masked before the horizon
+	Failed      bool // experiment aborted by the campaign harness (panic/budget)
 }
 
 // Hard reports whether the injected fault was permanent.
@@ -218,7 +219,67 @@ func (d *Dataset) DistinctDSRs() int {
 // ---- serialization -------------------------------------------------------
 
 // csvHeader is the on-disk column layout.
-const csvHeader = "kernel,flop,unit,fine,kind,inject,detected,detect,dsr,converged"
+const csvHeader = "kernel,flop,unit,fine,kind,inject,detected,detect,dsr,converged,failed"
+
+// MarshalCSV renders one record as a CSV row (no trailing newline), the
+// exact line WriteCSV emits for it. It is exported so partial logs — e.g.
+// the campaign checkpoint files of internal/inject — serialize records in
+// the same stable format as full datasets.
+func (r Record) MarshalCSV() string {
+	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%t,%d,%x,%t,%t",
+		r.Kernel, r.Flop, r.Unit, r.Fine, r.Kind, r.InjectCycle,
+		r.Detected, r.DetectCycle, r.DSR, r.Converged, r.Failed)
+}
+
+// ParseRecord parses one MarshalCSV row. It is the single row decoder:
+// ReadCSV and the checkpoint reader of internal/inject both funnel through
+// it, so the two on-disk formats cannot drift apart.
+func ParseRecord(text string) (Record, error) {
+	f := strings.Split(text, ",")
+	if len(f) != 11 {
+		return Record{}, fmt.Errorf("%d fields, want 11", len(f))
+	}
+	var rec Record
+	rec.Kernel = f[0]
+	var err error
+	if rec.Flop, err = strconv.Atoi(f[1]); err != nil {
+		return Record{}, fmt.Errorf("flop: %w", err)
+	}
+	u, err := strconv.Atoi(f[2])
+	if err != nil || u < 0 || u >= units.NumUnits {
+		return Record{}, fmt.Errorf("bad unit %q", f[2])
+	}
+	rec.Unit = units.Unit(u)
+	fu, err := strconv.Atoi(f[3])
+	if err != nil || fu < 0 || fu >= units.NumFine {
+		return Record{}, fmt.Errorf("bad fine unit %q", f[3])
+	}
+	rec.Fine = units.Fine(fu)
+	kd, err := strconv.Atoi(f[4])
+	if err != nil || kd < 0 || kd >= lockstep.NumFaultKinds {
+		return Record{}, fmt.Errorf("bad kind %q", f[4])
+	}
+	rec.Kind = lockstep.FaultKind(kd)
+	if rec.InjectCycle, err = strconv.Atoi(f[5]); err != nil {
+		return Record{}, fmt.Errorf("inject: %w", err)
+	}
+	if rec.Detected, err = strconv.ParseBool(f[6]); err != nil {
+		return Record{}, fmt.Errorf("detected: %w", err)
+	}
+	if rec.DetectCycle, err = strconv.Atoi(f[7]); err != nil {
+		return Record{}, fmt.Errorf("detect: %w", err)
+	}
+	if rec.DSR, err = strconv.ParseUint(f[8], 16, 64); err != nil {
+		return Record{}, fmt.Errorf("dsr: %w", err)
+	}
+	if rec.Converged, err = strconv.ParseBool(f[9]); err != nil {
+		return Record{}, fmt.Errorf("converged: %w", err)
+	}
+	if rec.Failed, err = strconv.ParseBool(f[10]); err != nil {
+		return Record{}, fmt.Errorf("failed: %w", err)
+	}
+	return rec, nil
+}
 
 // WriteCSV streams the dataset in a stable text format.
 func (d *Dataset) WriteCSV(w io.Writer) error {
@@ -227,9 +288,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, r := range d.Records {
-		if _, err := fmt.Fprintf(bw, "%s,%d,%d,%d,%d,%d,%t,%d,%x,%t\n",
-			r.Kernel, r.Flop, r.Unit, r.Fine, r.Kind, r.InjectCycle,
-			r.Detected, r.DetectCycle, r.DSR, r.Converged); err != nil {
+		if _, err := fmt.Fprintln(bw, r.MarshalCSV()); err != nil {
 			return err
 		}
 	}
@@ -254,45 +313,9 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		if text == "" {
 			continue
 		}
-		f := strings.Split(text, ",")
-		if len(f) != 10 {
-			return nil, fmt.Errorf("dataset: line %d: %d fields", line, len(f))
-		}
-		var rec Record
-		rec.Kernel = f[0]
-		var err error
-		if rec.Flop, err = strconv.Atoi(f[1]); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: flop: %w", line, err)
-		}
-		u, err := strconv.Atoi(f[2])
-		if err != nil || u < 0 || u >= units.NumUnits {
-			return nil, fmt.Errorf("dataset: line %d: bad unit %q", line, f[2])
-		}
-		rec.Unit = units.Unit(u)
-		fu, err := strconv.Atoi(f[3])
-		if err != nil || fu < 0 || fu >= units.NumFine {
-			return nil, fmt.Errorf("dataset: line %d: bad fine unit %q", line, f[3])
-		}
-		rec.Fine = units.Fine(fu)
-		kd, err := strconv.Atoi(f[4])
-		if err != nil || kd < 0 || kd >= lockstep.NumFaultKinds {
-			return nil, fmt.Errorf("dataset: line %d: bad kind %q", line, f[4])
-		}
-		rec.Kind = lockstep.FaultKind(kd)
-		if rec.InjectCycle, err = strconv.Atoi(f[5]); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: inject: %w", line, err)
-		}
-		if rec.Detected, err = strconv.ParseBool(f[6]); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: detected: %w", line, err)
-		}
-		if rec.DetectCycle, err = strconv.Atoi(f[7]); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: detect: %w", line, err)
-		}
-		if rec.DSR, err = strconv.ParseUint(f[8], 16, 64); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: dsr: %w", line, err)
-		}
-		if rec.Converged, err = strconv.ParseBool(f[9]); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: converged: %w", line, err)
+		rec, err := ParseRecord(text)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 		}
 		d.Records = append(d.Records, rec)
 	}

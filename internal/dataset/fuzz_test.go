@@ -30,15 +30,18 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add([]byte(csvHeader))
 	f.Add([]byte(csvHeader + "\n"))
 	f.Add([]byte("not,a,header\n"))
-	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false\n"))
-	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25\n"))          // short row
-	f.Add([]byte(csvHeader + "\nttsprk,x,0,0,0,10,true,25,5,false\n"))  // bad int
-	f.Add([]byte(csvHeader + "\nttsprk,0,99,0,0,10,true,25,5,false\n")) // unit out of range
-	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,7,10,true,25,5,false\n"))  // kind out of range
-	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,maybe,25,5,false\n")) // bad bool
-	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,zz,false\n")) // bad hex
-	f.Add([]byte(csvHeader + "\nttsprk,-1,0,0,0,-10,true,-25,ffffffffffffffff,false\n"))
-	f.Add([]byte(csvHeader + "\n\n\n" + strings.Repeat(",", 9) + "\n"))
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false,false\n"))
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false,true\n"))   // failed row
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false\n"))        // pre-failed 10-field row
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25\n"))                // short row
+	f.Add([]byte(csvHeader + "\nttsprk,x,0,0,0,10,true,25,5,false,false\n"))  // bad int
+	f.Add([]byte(csvHeader + "\nttsprk,0,99,0,0,10,true,25,5,false,false\n")) // unit out of range
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,7,10,true,25,5,false,false\n"))  // kind out of range
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,maybe,25,5,false,false\n")) // bad bool
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,zz,false,false\n")) // bad hex
+	f.Add([]byte(csvHeader + "\nttsprk,0,0,0,0,10,true,25,5,false,maybe\n"))  // bad failed flag
+	f.Add([]byte(csvHeader + "\nttsprk,-1,0,0,0,-10,true,-25,ffffffffffffffff,false,false\n"))
+	f.Add([]byte(csvHeader + "\n\n\n" + strings.Repeat(",", 10) + "\n"))
 	f.Add(bytes.Repeat([]byte("a"), 4096))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

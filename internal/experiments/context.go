@@ -30,6 +30,15 @@ type Scale struct {
 	Seed           int64
 	Workers        int  // campaign worker pool; 0 = runtime.NumCPU()
 	Legacy         bool // dual-CPU oracle instead of golden-trace replay
+
+	// Checkpoint, when non-empty, makes the campaign periodically persist
+	// an atomic resumable checkpoint there (every CheckpointEvery
+	// completed experiments; 0 = inject's default), and Resume continues a
+	// previously interrupted campaign from it. The resumed dataset is
+	// byte-identical to an uninterrupted run. See inject.Config.
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          bool
 }
 
 // WithWorkers returns a copy of the scale with the campaign worker count
@@ -95,6 +104,9 @@ func (s Scale) Config() inject.Config {
 		Seed:                  s.Seed,
 		Workers:               s.Workers,
 		Legacy:                s.Legacy,
+		CheckpointPath:        s.Checkpoint,
+		CheckpointEvery:       s.CheckpointEvery,
+		Resume:                s.Resume,
 	}
 }
 

@@ -1,0 +1,192 @@
+package inject
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lockstep/internal/telemetry"
+)
+
+// failureCount reads the global containment-failure counter (monotone
+// across campaigns in one process, so tests measure deltas).
+func failureCount() int64 {
+	var n int64
+	for _, c := range telemetry.Default.Snapshot().Counters {
+		if c.Name == "inject.experiment_failures" {
+			n += c.Value
+		}
+	}
+	return n
+}
+
+// TestPanicContainment: a deliberately poisoned experiment must not kill
+// the campaign — it is retried, then recorded as a Failed row, while
+// every other experiment's record stays exactly as in a clean run. Run at
+// several worker counts so -race also sees the containment path.
+func TestPanicContainment(t *testing.T) {
+	clean, err := Run(ckConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisonIdx := clean.Len() / 2
+	plan, err := ckConfig().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison := plan[poisonIdx]
+
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		before := failureCount()
+		cfg := ckConfig()
+		cfg.Workers = workers
+		cfg.testHook = func(e Experiment) {
+			if e == poison {
+				panic("deliberately poisoned experiment")
+			}
+		}
+		ds, st, err := RunStats(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: poisoned campaign aborted: %v", workers, err)
+		}
+		if ds.Len() != clean.Len() {
+			t.Fatalf("workers=%d: poisoned campaign produced %d records, want %d", workers, ds.Len(), clean.Len())
+		}
+		if st.Failures != 1 {
+			t.Fatalf("workers=%d: Stats.Failures = %d, want 1", workers, st.Failures)
+		}
+		if got := failureCount() - before; got != 1 {
+			t.Fatalf("workers=%d: inject.experiment_failures grew by %d, want 1", workers, got)
+		}
+		for i, r := range ds.Records {
+			if i == poisonIdx {
+				if !r.Failed || r.Detected || r.Converged {
+					t.Fatalf("workers=%d: poisoned record = %+v, want Failed-only", workers, r)
+				}
+				continue
+			}
+			if r != clean.Records[i] {
+				t.Fatalf("workers=%d: record %d disturbed by a neighbouring panic:\nclean:    %+v\npoisoned: %+v",
+					workers, i, clean.Records[i], r)
+			}
+		}
+	}
+}
+
+// TestPanicRetryRecovers: a transient panic (first attempt only) must be
+// retried on fresh scratch and produce the normal record, with no Failed
+// row and no failure count.
+func TestPanicRetryRecovers(t *testing.T) {
+	clean, err := Run(ckConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ckConfig().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := plan[3]
+
+	var mu sync.Mutex
+	tripped := false
+	cfg := ckConfig()
+	cfg.testHook = func(e Experiment) {
+		if e != flaky {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !tripped {
+			tripped = true
+			panic("transient harness fault")
+		}
+	}
+	ds, st, err := RunStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Fatal("test hook never fired")
+	}
+	if st.Failures != 0 {
+		t.Fatalf("Stats.Failures = %d, want 0 (retry should have recovered)", st.Failures)
+	}
+	for i := range clean.Records {
+		if ds.Records[i] != clean.Records[i] {
+			t.Fatalf("record %d differs after a retried panic: %+v vs %+v", i, ds.Records[i], clean.Records[i])
+		}
+	}
+}
+
+// TestRetriesDisabled: Retries < 0 records the first panic as Failed
+// without a second attempt.
+func TestRetriesDisabled(t *testing.T) {
+	plan, err := ckConfig().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := plan[0]
+	var mu sync.Mutex
+	attempts := 0
+	cfg := ckConfig()
+	cfg.Retries = -1
+	cfg.testHook = func(e Experiment) {
+		if e != victim {
+			return
+		}
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		panic("always panics")
+	}
+	ds, st, err := RunStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("experiment attempted %d times with retries disabled, want 1", attempts)
+	}
+	if st.Failures != 1 || !ds.Records[0].Failed {
+		t.Fatalf("first record not Failed (failures=%d, rec=%+v)", st.Failures, ds.Records[0])
+	}
+}
+
+// TestWatchdogBudget: an experiment that stalls past the per-experiment
+// budget is abandoned and recorded as Failed; the campaign finishes.
+func TestWatchdogBudget(t *testing.T) {
+	cfg := ckConfig()
+	cfg.FlopStride = 256 // a handful of experiments — the stall dominates
+	plan, err := cfg.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := plan[1]
+	cfg.ExperimentBudget = 50 * time.Millisecond
+	release := make(chan struct{})
+	defer close(release) // unblock the abandoned goroutine at test end
+	cfg.testHook = func(e Experiment) {
+		if e == stuck {
+			<-release // simulates a hung experiment
+		}
+	}
+	start := time.Now()
+	ds, st, err := RunStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("watchdog failed to bound the stall (took %v)", elapsed)
+	}
+	if st.Failures != 1 {
+		t.Fatalf("Stats.Failures = %d, want 1", st.Failures)
+	}
+	if !ds.Records[1].Failed {
+		t.Fatalf("stalled record = %+v, want Failed", ds.Records[1])
+	}
+	for i, r := range ds.Records {
+		if i != 1 && r.Failed {
+			t.Fatalf("healthy record %d marked Failed: %+v", i, r)
+		}
+	}
+}

@@ -15,12 +15,23 @@
 // of workers, each experiment replaying against a read-only per-kernel
 // golden run, and records land at their plan index — so the dataset is
 // bit-identical for any worker count, including a serial run.
+//
+// Long campaigns are crash-safe: with Config.CheckpointPath set the run
+// periodically persists an atomic, versioned checkpoint of the completed
+// plan spans, and Config.Resume restores it and re-executes only the
+// remaining plan indices — the final dataset is byte-identical to an
+// uninterrupted run (see checkpoint.go). Workers contain faults in the
+// harness itself: a panicking experiment is retried on fresh scratch and
+// then recorded as a Failed row, and an optional per-experiment watchdog
+// budget bounds a stuck experiment, so one poisoned experiment cannot
+// kill a multi-week campaign.
 package inject
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lockstep/internal/cpu"
@@ -64,10 +75,47 @@ type Config struct {
 	// as the differential-testing oracle (outcomes are bit-identical to
 	// the replay path, which the test suite asserts).
 	Legacy bool
-	// Progress, if non-nil, receives (done, total) experiment counts.
-	// Calls are serialized and done is strictly increasing 1..total, even
-	// when experiments complete out of order across workers.
+	// Progress, if non-nil, receives (done, total) experiment counts for
+	// the experiments this run executes (a resumed campaign reports the
+	// remaining work, not the restored records). Calls are serialized and
+	// done is strictly increasing 1..total, even when experiments complete
+	// out of order across workers.
 	Progress func(done, total int)
+
+	// CheckpointPath, when non-empty, makes the campaign periodically
+	// persist an atomic resumable checkpoint (completed plan spans +
+	// records + config fingerprint) to this path, and write a final one on
+	// completion. See checkpoint.go for the crash-safety contract.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed experiments between
+	// checkpoint writes; 0 means a default of 4096. Only meaningful with
+	// CheckpointPath.
+	CheckpointEvery int
+	// Resume restores the checkpoint at CheckpointPath and re-executes
+	// only the plan indices it does not cover. The final dataset is
+	// byte-identical to an uninterrupted run at any worker count. A
+	// missing, corrupt or config-mismatched checkpoint refuses with a
+	// typed error instead of silently restarting.
+	Resume bool
+
+	// Retries is how many times a panicking experiment is re-attempted
+	// before being recorded as Failed; 0 means a default of 1, negative
+	// disables retries. Panics never escape a worker: a poisoned
+	// experiment costs one dataset row, not the campaign.
+	Retries int
+	// ExperimentBudget is the per-experiment watchdog: an experiment still
+	// running after this wall-clock budget (derive it from the cycle
+	// horizon — e.g. RunCycles at a conservative simulated-cycles-per-
+	// second floor) is abandoned and recorded as Failed. 0 disables the
+	// watchdog, which is the default: a budget trades the campaign's
+	// bit-determinism on overloaded machines for guaranteed liveness, so
+	// it is opt-in.
+	ExperimentBudget time.Duration
+
+	// testHook, when set, runs at the start of every experiment attempt.
+	// It exists so tests can inject panics and stalls into the worker pool
+	// to exercise the containment layer.
+	testHook func(Experiment)
 }
 
 // DefaultConfig is a laptop-scale campaign: full flop coverage, all three
@@ -98,6 +146,18 @@ func (c *Config) normalize() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 4096
+	}
+	switch {
+	case c.Retries == 0:
+		c.Retries = 1
+	case c.Retries < 0:
+		c.Retries = 0
+	}
+	if c.Resume && c.CheckpointPath == "" {
+		return fmt.Errorf("inject: Resume requires CheckpointPath")
+	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip, lockstep.Stuck0, lockstep.Stuck1}
 	}
@@ -127,16 +187,29 @@ func (c Config) Total() (int, error) {
 
 // Stats reports how a campaign ran.
 type Stats struct {
-	Experiments int           // experiments executed
+	Experiments int           // experiments in the dataset (restored + executed)
+	Restored    int           // experiments restored from a resume checkpoint
+	Failures    int           // experiments recorded as Failed by the containment layer
+	Checkpoints int           // checkpoint files written
 	Workers     int           // worker pool size used
 	Elapsed     time.Duration // wall clock, golden runs included
-	PerSec      float64       // experiments per wall-clock second
+	PerSec      float64       // executed experiments per wall-clock second
 }
+
+// Executed is the number of experiments this run actually simulated.
+func (s Stats) Executed() int { return s.Experiments - s.Restored }
 
 // String renders the stats one-line, for CLI summaries.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d experiments in %v with %d worker(s) (%.0f exp/s)",
+	out := fmt.Sprintf("%d experiments in %v with %d worker(s) (%.0f exp/s)",
 		s.Experiments, s.Elapsed.Round(time.Millisecond), s.Workers, s.PerSec)
+	if s.Restored > 0 {
+		out += fmt.Sprintf(", %d restored from checkpoint", s.Restored)
+	}
+	if s.Failures > 0 {
+		out += fmt.Sprintf(", %d FAILED", s.Failures)
+	}
+	return out
 }
 
 // Run executes the campaign and returns the full experiment log.
@@ -155,7 +228,60 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	goldens, err := buildGoldens(cfg)
+
+	// Records land at their plan index, so the merged dataset is in
+	// canonical plan order no matter which worker ran which experiment —
+	// and no matter how much of it was restored from a checkpoint.
+	records := make([]dataset.Record, len(plan))
+	// done[i] is set with release semantics once records[i] is final; the
+	// checkpointer's acquire loads make its record snapshots consistent.
+	// Only allocated when checkpointing/resume is on: the plain campaign
+	// hot path stays exactly as before.
+	var done []atomic.Bool
+	if cfg.CheckpointPath != "" {
+		done = make([]atomic.Bool, len(plan))
+	}
+	restored := 0
+	if cfg.Resume {
+		ck, err := ReadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if err := ck.validate(cfg, len(plan)); err != nil {
+			return nil, Stats{}, err
+		}
+		ri := 0
+		for _, sp := range ck.Done {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				records[i] = ck.Records[ri]
+				ri++
+				done[i].Store(true)
+			}
+		}
+		restored = ck.DoneCount()
+		telemetry.Default.Gauge("inject.experiments_restored").Set(int64(restored))
+	}
+
+	// pending is this run's work list: every plan index the resume
+	// checkpoint (if any) did not cover, in canonical order. Goldens are
+	// only recorded for kernels that still have pending work, so resuming
+	// a nearly finished campaign is nearly free.
+	pending := make([]int, 0, len(plan)-restored)
+	needKernel := make(map[string]bool, len(cfg.Kernels))
+	for i := range plan {
+		if restored > 0 && done[i].Load() {
+			continue
+		}
+		pending = append(pending, i)
+		needKernel[plan[i].Kernel] = true
+	}
+	var kernels []string
+	for _, name := range cfg.Kernels {
+		if needKernel[name] {
+			kernels = append(kernels, name)
+		}
+	}
+	goldens, err := buildGoldens(cfg, kernels)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -165,8 +291,8 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		window = lockstep.StopLatency
 	}
 	workers := cfg.Workers
-	if workers > len(plan) {
-		workers = len(plan)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	if workers < 1 {
 		workers = 1
@@ -174,46 +300,44 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 
 	tel := newCampaignTelemetry(cfg)
 
-	// Records land at their plan index, so the merged dataset is in
-	// canonical plan order no matter which worker ran which experiment.
-	records := make([]dataset.Record, len(plan))
-	total := len(plan)
+	var ckp *checkpointer
+	if cfg.CheckpointPath != "" {
+		ckp = startCheckpointer(cfg, records, done)
+	}
+
+	total := len(pending)
 	var (
-		done     int
+		prog     int
 		progMu   sync.Mutex
 		progress = func() {
 			if cfg.Progress == nil {
 				return
 			}
 			progMu.Lock()
-			done++
-			cfg.Progress(done, total)
+			prog++
+			cfg.Progress(prog, total)
 			progMu.Unlock()
 		}
 	)
 
 	next := make(chan int)
+	var failures atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-worker replay scratch: reused across every experiment
-			// this worker runs, so the steady-state hot path allocates
-			// nothing and repositioning between experiments on the same
-			// kernel is an incremental image seek, not a full RAM copy.
-			var rep *lockstep.Replayer
-			if !cfg.Legacy {
-				rep = lockstep.NewReplayer()
-			}
+			// Per-worker containment wrapper around the replay scratch:
+			// reused across every experiment this worker runs, so the
+			// steady-state hot path allocates nothing and repositioning
+			// between experiments on the same kernel is an incremental
+			// image seek, not a full RAM copy.
+			w := &worker{cfg: cfg, goldens: goldens, window: window}
 			for idx := range next {
 				e := plan[idx]
-				inj := lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}
-				var out lockstep.Outcome
-				if cfg.Legacy {
-					out = goldens[e.Kernel].InjectLegacyW(inj, window)
-				} else {
-					out = rep.InjectW(goldens[e.Kernel], inj, window)
+				out := w.run(e)
+				if out.Failed {
+					failures.Add(1)
 				}
 				records[idx] = dataset.Record{
 					Kernel:      e.Kernel,
@@ -226,25 +350,234 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 					DetectCycle: out.DetectCycle,
 					DSR:         out.DSR,
 					Converged:   out.Converged,
+					Failed:      out.Failed,
 				}
 				tel.record(e, out)
+				if done != nil {
+					done[idx].Store(true)
+				}
+				if ckp != nil {
+					ckp.completed()
+				}
 				progress()
 			}
 		}()
 	}
-	for idx := range plan {
+	for _, idx := range pending {
 		next <- idx
 	}
 	close(next)
 	wg.Wait()
 
-	elapsed := time.Since(start)
-	st := Stats{Experiments: total, Workers: workers, Elapsed: elapsed}
-	if secs := elapsed.Seconds(); secs > 0 {
+	st := Stats{
+		Experiments: len(plan),
+		Restored:    restored,
+		Failures:    int(failures.Load()),
+		Workers:     workers,
+	}
+	if ckp != nil {
+		n, err := ckp.stop()
+		st.Checkpoints = n
+		if err != nil {
+			return nil, st, fmt.Errorf("inject: checkpoint: %w", err)
+		}
+	}
+	st.Elapsed = time.Since(start)
+	if secs := st.Elapsed.Seconds(); secs > 0 {
 		st.PerSec = float64(total) / secs
 	}
 	tel.finish(st)
 	return &dataset.Dataset{Records: records}, st, nil
+}
+
+// worker runs experiments under the campaign's fault-containment policy:
+// panic isolation with bounded retry, plus the optional per-experiment
+// watchdog budget. One worker is owned by exactly one executor goroutine.
+type worker struct {
+	cfg     Config
+	goldens map[string]*lockstep.Golden
+	window  int
+	rep     *lockstep.Replayer // replay scratch; nil until first use or after poisoning
+}
+
+// run executes one experiment and never panics: a panicking experiment is
+// re-attempted up to cfg.Retries times on a fresh replay scratch (the old
+// one may be mid-experiment) and then recorded as Failed; a
+// watchdog-budget overrun is recorded as Failed immediately, since the
+// budget is already spent.
+func (w *worker) run(e Experiment) lockstep.Outcome {
+	for attempt := 0; ; attempt++ {
+		out, panicked, timedOut := w.attempt(e)
+		switch {
+		case timedOut:
+			w.rep = nil
+			return lockstep.Outcome{Failed: true}
+		case panicked:
+			w.rep = nil
+			if attempt < w.cfg.Retries {
+				continue
+			}
+			return lockstep.Outcome{Failed: true}
+		default:
+			return out
+		}
+	}
+}
+
+// attempt performs one try, enforcing the watchdog budget if configured.
+// On a timeout the experiment goroutine is abandoned together with its
+// replay scratch: it holds no locks, reads only the immutable golden, and
+// its result is discarded, so the worker can move on safely.
+func (w *worker) attempt(e Experiment) (out lockstep.Outcome, panicked, timedOut bool) {
+	rep := w.rep
+	if rep == nil && !w.cfg.Legacy {
+		rep = lockstep.NewReplayer()
+	}
+	w.rep = rep
+	if w.cfg.ExperimentBudget <= 0 {
+		out, panicked = w.once(e, rep)
+		return out, panicked, false
+	}
+	type result struct {
+		out      lockstep.Outcome
+		panicked bool
+	}
+	ch := make(chan result, 1)
+	go func() {
+		o, p := w.once(e, rep)
+		ch <- result{o, p}
+	}()
+	timer := time.NewTimer(w.cfg.ExperimentBudget)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.panicked, false
+	case <-timer.C:
+		return lockstep.Outcome{}, false, true
+	}
+}
+
+// once is a single contained attempt. It touches no worker fields besides
+// read-only config and goldens, so an abandoned (timed-out) invocation
+// cannot race with the worker's next attempt.
+func (w *worker) once(e Experiment, rep *lockstep.Replayer) (out lockstep.Outcome, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	if w.cfg.testHook != nil {
+		w.cfg.testHook(e)
+	}
+	inj := lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}
+	if w.cfg.Legacy {
+		return w.goldens[e.Kernel].InjectLegacyW(inj, w.window), false
+	}
+	return rep.InjectW(w.goldens[e.Kernel], inj, w.window), false
+}
+
+// checkpointer owns the campaign's checkpoint file. Workers only flip
+// done bits and bump a completion counter; the checkpointer goroutine
+// snapshots the done bitmap into spans and persists them atomically every
+// CheckpointEvery completions, and stop() writes the final checkpoint.
+type checkpointer struct {
+	path    string
+	every   int64
+	fp      Fingerprint
+	records []dataset.Record
+	done    []atomic.Bool
+
+	completedN atomic.Int64
+	kick       chan struct{}
+	quit       chan struct{}
+	idle       sync.WaitGroup
+
+	// Written by the loop goroutine, read by stop() after idle.Wait.
+	writes int
+	err    error
+
+	telWrites        *telemetry.Counter
+	telDone, telLast *telemetry.Gauge
+}
+
+func startCheckpointer(cfg Config, records []dataset.Record, done []atomic.Bool) *checkpointer {
+	c := &checkpointer{
+		path:      cfg.CheckpointPath,
+		every:     int64(cfg.CheckpointEvery),
+		fp:        cfg.fingerprint(),
+		records:   records,
+		done:      done,
+		kick:      make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		telWrites: telemetry.Default.Counter("inject.checkpoint_writes"),
+		telDone:   telemetry.Default.Gauge("inject.checkpoint_done"),
+		telLast:   telemetry.Default.Gauge("inject.checkpoint_last_unix_ms"),
+	}
+	telemetry.Default.Gauge("inject.checkpoint_total").Set(int64(len(records)))
+	c.idle.Add(1)
+	go c.loop()
+	return c
+}
+
+// completed is the worker-side trigger: O(1), lock-free.
+func (c *checkpointer) completed() {
+	if c.completedN.Add(1)%c.every == 0 {
+		select {
+		case c.kick <- struct{}{}:
+		default: // a write is already due; it will see these completions
+		}
+	}
+}
+
+func (c *checkpointer) loop() {
+	defer c.idle.Done()
+	for {
+		select {
+		case <-c.kick:
+			c.write()
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+// write snapshots the done bitmap into sorted disjoint spans and persists
+// the checkpoint. The campaign keeps running on a write error; the first
+// error is surfaced when the checkpointer stops, so a full dataset is
+// never discarded because one checkpoint write failed mid-run.
+func (c *checkpointer) write() {
+	ck := &Checkpoint{FP: c.fp, Total: len(c.records)}
+	for i := range c.done {
+		if !c.done[i].Load() {
+			continue
+		}
+		if n := len(ck.Done); n > 0 && ck.Done[n-1].Hi == i {
+			ck.Done[n-1].Hi = i + 1
+		} else {
+			ck.Done = append(ck.Done, Span{Lo: i, Hi: i + 1})
+		}
+		ck.Records = append(ck.Records, c.records[i])
+	}
+	if err := WriteCheckpoint(c.path, ck); err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	c.writes++
+	c.telWrites.Inc()
+	c.telDone.Set(int64(len(ck.Records)))
+	c.telLast.Set(time.Now().UnixMilli())
+}
+
+// stop drains the checkpoint loop, writes the final checkpoint (which
+// covers the whole plan on a completed campaign) and reports how many
+// checkpoint files were written plus the first write error, if any.
+func (c *checkpointer) stop() (int, error) {
+	close(c.quit)
+	c.idle.Wait()
+	c.write()
+	return c.writes, c.err
 }
 
 // campaignTelemetry holds the pre-created metric handles for one
@@ -256,6 +589,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 type campaignTelemetry struct {
 	outcomes    map[string]*outcomeTel
 	experiments *telemetry.Counter
+	failures    *telemetry.Counter
 }
 
 // outcomeTel is the per-(kernel, kind) handle set: one counter per
@@ -265,6 +599,7 @@ type outcomeTel struct {
 	detected  *telemetry.Counter
 	converged *telemetry.Counter
 	escaped   *telemetry.Counter
+	failed    *telemetry.Counter
 	latency   *telemetry.Histogram
 }
 
@@ -276,6 +611,7 @@ func newCampaignTelemetry(cfg Config) *campaignTelemetry {
 	t := &campaignTelemetry{
 		outcomes:    make(map[string]*outcomeTel, len(cfg.Kernels)*len(cfg.Kinds)),
 		experiments: telemetry.Default.Counter("inject.experiments"),
+		failures:    telemetry.Default.Counter("inject.experiment_failures"),
 	}
 	for _, kernel := range cfg.Kernels {
 		for _, kind := range cfg.Kinds {
@@ -284,6 +620,7 @@ func newCampaignTelemetry(cfg Config) *campaignTelemetry {
 				detected:  telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "detected")),
 				converged: telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "converged")),
 				escaped:   telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "escaped")),
+				failed:    telemetry.Default.Counter("inject.outcomes", kk, kd, telemetry.L("outcome", "failed")),
 				latency:   telemetry.Default.Histogram("inject.detect_latency", telemetry.CycleBuckets, kk, kd),
 			}
 		}
@@ -295,6 +632,9 @@ func (t *campaignTelemetry) record(e Experiment, out lockstep.Outcome) {
 	t.experiments.Inc()
 	o := t.outcomes[outcomeKey(e.Kernel, e.Kind)]
 	switch {
+	case out.Failed:
+		o.failed.Inc()
+		t.failures.Inc()
 	case out.Detected:
 		o.detected.Inc()
 		o.latency.Observe(int64(out.DetectCycle - e.Cycle))
@@ -311,22 +651,23 @@ func (t *campaignTelemetry) finish(st Stats) {
 	telemetry.Default.Gauge("inject.per_sec").Set(int64(st.PerSec))
 }
 
-// buildGoldens records one fault-free golden run per kernel, in parallel
-// (each golden is an independent simulation). The returned goldens are
-// immutable and shared read-only by all experiment workers.
-func buildGoldens(cfg Config) (map[string]*lockstep.Golden, error) {
+// buildGoldens records one fault-free golden run per kernel that still
+// has pending experiments, in parallel (each golden is an independent
+// simulation). The returned goldens are immutable and shared read-only by
+// all experiment workers.
+func buildGoldens(cfg Config, kernels []string) (map[string]*lockstep.Golden, error) {
 	snapEvery := cfg.RunCycles / 16
 	if snapEvery < 1 {
 		snapEvery = 1
 	}
-	goldens := make(map[string]*lockstep.Golden, len(cfg.Kernels))
-	errs := make([]error, len(cfg.Kernels))
+	goldens := make(map[string]*lockstep.Golden, len(kernels))
+	errs := make([]error, len(kernels))
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
 	sem := make(chan struct{}, cfg.Workers)
-	for i, name := range cfg.Kernels {
+	for i, name := range kernels {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()

@@ -106,6 +106,11 @@ type Outcome struct {
 	DetectCycle int    // absolute cycle of detection (if Detected)
 	DSR         uint64 // diverged SC map latched at detection (if Detected)
 	Converged   bool   // soft fault fully masked: redundant state re-joined golden
+	// Failed marks an experiment the campaign harness aborted (panic after
+	// the retry budget, or a watchdog-budget overrun). The simulation paths
+	// never set it; internal/inject records it so one poisoned experiment
+	// is logged instead of killing a multi-week campaign.
+	Failed bool
 }
 
 // ManifestationCycles is the paper's error detection/manifestation time:
