@@ -7,9 +7,9 @@
 # allocation guard.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism telemetry alloc cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism telemetry alloc server serve-smoke cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism telemetry alloc
+ci: vet build race determinism resume-determinism telemetry alloc server serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,13 +46,27 @@ resume-determinism:
 telemetry:
 	$(GO) test -race -count=1 ./internal/telemetry/
 
+# The HTTP service's API contract, under -race: the structured error
+# envelope on every failure path, /v1/predict equivalence with the
+# offline handler, campaign job lifecycle with byte-identical datasets,
+# and drain/restart resume.
+server:
+	$(GO) test -race -count=1 ./internal/server/
+
+# End-to-end smoke of the real lockstep-serve binary via clitest: random
+# port, campaign over HTTP byte-identical to a direct run, and
+# SIGTERM-mid-job drain + checkpoint-resume across a restart.
+serve-smoke:
+	$(GO) test -race -count=1 ./cmd/lockstep-serve/
+
 # Coverage report with per-package floors: internal/telemetry is the
 # observability backbone (>= 60%), internal/inject carries the campaign,
-# checkpoint and containment machinery (>= 75%).
+# checkpoint and containment machinery (>= 75%), internal/server is the
+# HTTP boundary (>= 70%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@for spec in internal/telemetry:60 internal/inject:75; do \
+	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
@@ -76,8 +90,11 @@ bench:
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy)$$' -benchmem -benchtime=200ms .
 
-# Short fuzz passes over the campaign-log parser and the checkpoint
-# decoder.
+# Short fuzz passes over the campaign-log parser, the checkpoint decoder,
+# and the two lockstep-serve request decoders (predict bodies through the
+# full endpoint, campaign submissions through the validation layer).
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/
+	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=30s ./internal/server/
+	$(GO) test -fuzz=FuzzCampaignRequest -fuzztime=30s ./internal/server/

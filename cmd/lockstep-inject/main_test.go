@@ -237,10 +237,17 @@ func TestCLIResumeRefusals(t *testing.T) {
 	}
 }
 
-// TestCLIRejectsUnknownKernel checks the error path of the real binary.
+// TestCLIRejectsUnknownKernel checks the error path of the real binary:
+// validation failures surface the typed inject.ConfigError rendering —
+// `config <Field>: <reason>` — which is the exact message lockstep-serve
+// puts in its invalid_config JSON envelope, so the CLI and the server
+// report the offending field identically.
 func TestCLIRejectsUnknownKernel(t *testing.T) {
 	res := clitest.Exec(t, "-o", filepath.Join(t.TempDir(), "x.csv"), "-kernels", "nosuch")
 	if res.Code != 1 || !strings.Contains(res.Stderr, "lockstep-inject:") {
 		t.Fatalf("unknown kernel: exit %d, stderr %q", res.Code, res.Stderr)
+	}
+	if want := `config Kernels: unknown kernel "nosuch"`; !strings.Contains(res.Stderr, want) {
+		t.Fatalf("stderr %q does not carry the ConfigError rendering %q", res.Stderr, want)
 	}
 }

@@ -1,0 +1,162 @@
+// Command lockstep-serve exposes the lockstep tooling as a long-running
+// HTTP service: online error-correlation prediction from a trained table
+// and a crash-safe fault-injection campaign job API.
+//
+// Usage:
+//
+//	lockstep-serve [-addr host:port] [-table table.lspt] [-data dir]
+//	               [-campaign-workers N] [-inject-workers N]
+//	               [-max-inflight N] [-max-batch N]
+//	               [-request-timeout D] [-drain-timeout D]
+//	               [-table-access N] [-metrics snapshot.json] [-pprof addr]
+//
+// With -table, POST /v1/predict maps DSR snapshots through the trained
+// prediction table (the paper's DSR → PTAR → table-entry flow) to a
+// predicted unit test order and soft/hard verdict. With -data, the
+// campaign API (POST /v1/campaigns, GET /v1/campaigns/{id}[/dataset])
+// runs inject campaigns on a bounded worker pool; every job is
+// checkpointed into the data directory, so a killed or drained server
+// resumes its jobs on restart and the final datasets are byte-identical
+// to uninterrupted runs.
+//
+// SIGINT/SIGTERM drains gracefully: running campaigns stop at the next
+// experiment boundary and write a final checkpoint, in-flight HTTP
+// requests finish, and the process exits 0. Restarting with the same
+// -data resumes automatically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lockstep/internal/core"
+	"lockstep/internal/sbist"
+	"lockstep/internal/server"
+	"lockstep/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8172", "listen address (port 0 picks a free port)")
+		tablePath  = flag.String("table", "", "trained prediction table image (lockstep-train -o); empty disables /v1/predict")
+		dataDir    = flag.String("data", "", "campaign job directory (manifests, checkpoints, datasets); empty disables the campaign API")
+		campaigns  = flag.Int("campaign-workers", 1, "concurrent campaign jobs")
+		injWorkers = flag.Int("inject-workers", 0, "per-job experiment worker cap (0 = all CPUs)")
+		inflight   = flag.Int("max-inflight", 64, "concurrent HTTP requests before answering 429")
+		maxBatch   = flag.Int("max-batch", 1024, "max DSRs in one predict request")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline (504 when exceeded)")
+		drainTime  = flag.Duration("drain-timeout", time.Minute, "graceful shutdown budget for draining jobs and requests")
+		tblAccess  = flag.Int64("table-access", sbist.OnChipTableAccess, "prediction table read latency in cycles (annotates predictions)")
+		metrics    = flag.String("metrics", "", "write the telemetry JSON snapshot to this path on shutdown")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	)
+	flag.Parse()
+
+	opt := server.Options{
+		DataDir:         *dataDir,
+		CampaignWorkers: *campaigns,
+		InjectWorkers:   *injWorkers,
+		MaxInFlight:     *inflight,
+		MaxBatch:        *maxBatch,
+		RequestTimeout:  *reqTimeout,
+	}
+	if err := run(opt, *addr, *tablePath, *tblAccess, *metrics, *pprofAddr, *drainTime, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstep-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the service, serves it until SIGINT/SIGTERM, then drains:
+// campaigns checkpoint and stop, in-flight requests finish, the optional
+// metrics snapshot is written, and run returns nil for a clean exit 0.
+func run(opt server.Options, addr, tablePath string, tblAccess int64, metricsPath, pprofAddr string, drainTimeout time.Duration, errw io.Writer) error {
+	if tablePath != "" {
+		f, err := os.Open(tablePath)
+		if err != nil {
+			return err
+		}
+		table, err := core.ReadTable(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading table %s: %w", tablePath, err)
+		}
+		opt.Table = table
+		opt.SBIST = sbist.NewConfig(table.Gran, nil, tblAccess)
+		fmt.Fprintf(errw, "lockstep-serve: loaded table %s (%s, %d sets, %d table bits)\n",
+			tablePath, table.Gran, table.Dict.Len(), table.TableBits())
+	}
+	if pprofAddr != "" {
+		url, err := telemetry.ServeDebug(pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "lockstep-serve: debug server: %s/debug/pprof/\n", url)
+	}
+
+	srv, err := server.New(opt)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "lockstep-serve: listening on http://%s\n", ln.Addr())
+	if opt.DataDir == "" {
+		fmt.Fprintln(errw, "lockstep-serve: campaign API disabled (no -data)")
+	}
+	if opt.Table == nil {
+		fmt.Fprintln(errw, "lockstep-serve: /v1/predict disabled (no -table)")
+	}
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(errw, "lockstep-serve: %v: draining (campaigns checkpoint and stop, requests finish)\n", s)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Default.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(errw, "lockstep-serve: drained; bye")
+	return nil
+}

@@ -23,7 +23,10 @@ import (
 	"errors"
 	"os"
 	"os/exec"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // EnvMarker is the environment variable that redirects a test binary
@@ -66,13 +69,34 @@ func Exec(t *testing.T, args ...string) Result {
 
 // Proc is a command under test running in the background, so a test can
 // observe or signal it mid-flight — e.g. SIGKILL a campaign between two
-// checkpoint writes and assert that a resumed run completes the dataset.
+// checkpoint writes and assert that a resumed run completes the dataset,
+// or SIGTERM a server and assert it drains gracefully.
 type Proc struct {
 	t              *testing.T
 	cmd            *exec.Cmd
-	stdout, stderr bytes.Buffer
+	stdout, stderr lockedBuffer
 	waited         bool
 	res            Result
+}
+
+// lockedBuffer is a bytes.Buffer safe to read while the subprocess's
+// output-copying goroutine (inside os/exec) is still writing — tests
+// poll a live server's output for its listen address.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // Start launches the command under test without waiting for it. Callers
@@ -98,6 +122,34 @@ func Start(t *testing.T, args ...string) *Proc {
 		}
 	})
 	return p
+}
+
+// Signal delivers sig to the running subprocess without reaping it —
+// e.g. syscall.SIGTERM to exercise a server's graceful-drain path; the
+// test then Waits and asserts a clean exit.
+func (p *Proc) Signal(sig os.Signal) {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(sig); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		p.t.Fatalf("clitest: signal %v: %v", sig, err)
+	}
+}
+
+// WaitOutput polls the subprocess's stdout+stderr until substr appears
+// and returns everything captured so far. It fails the test if the
+// subprocess exits, or the timeout elapses, without producing substr.
+func (p *Proc) WaitOutput(substr string, timeout time.Duration) string {
+	p.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		out := p.stdout.String() + p.stderr.String()
+		if strings.Contains(out, substr) {
+			return out
+		}
+		if p.cmd.ProcessState != nil || time.Now().After(deadline) {
+			p.t.Fatalf("clitest: %q did not appear in output within %v:\n%s", substr, timeout, out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Kill SIGKILLs the subprocess — the hardest interruption a campaign can

@@ -72,6 +72,43 @@ func New(table *core.Table, cfg sbist.Config) *Handler {
 	return &Handler{Frontend: core.Frontend{Table: table}, Cfg: cfg}
 }
 
+// Prediction is the pure prediction step of a reaction: the DSR latched
+// into the front-end, the PTAR it mapped to, and the entry the handler
+// would fetch — without driving any reaction. It is what an online
+// consumer (lockstep-serve's /v1/predict) needs at error-detection time.
+type Prediction struct {
+	DSR   uint64
+	PTAR  int      // prediction table address the DSR mapped to
+	Known bool     // false when the DSR hit the default entry
+	Hard  bool     // predicted error type
+	Order []uint8  // predicted unit test order (unit IDs at Cfg.Gran)
+	Units []string // the same order as unit names
+}
+
+// Predict performs the handler's DSR→PTAR→table flow (latch the DSR,
+// resolve the table address, fetch the entry) and returns the prediction
+// without reacting. HandleRecord/HandleLive drive the same front-end, so
+// a Reaction's PTAR/KnownSet/PredHard/PredOrder always agree with
+// Predict on the same DSR. Handlers are not safe for concurrent use
+// (the front-end latches state); concurrent callers build one Handler
+// each — construction is two words around the shared read-only table.
+func (h *Handler) Predict(dsr uint64) Prediction {
+	h.Frontend.LatchError(dsr)
+	pred := h.Frontend.ReadEntry()
+	names := make([]string, len(pred.Units))
+	for i, u := range pred.Units {
+		names[i] = h.Cfg.Gran.UnitName(int(u))
+	}
+	return Prediction{
+		DSR:   dsr,
+		PTAR:  h.Frontend.PTAR,
+		Known: h.Frontend.Hit,
+		Hard:  pred.Hard,
+		Order: pred.Units,
+		Units: names,
+	}
+}
+
 // HandleRecord reacts to a logged error record (ground truth comes from
 // the record itself). It is the executable twin of sbist.PredComb.React.
 func (h *Handler) HandleRecord(r dataset.Record) Reaction {

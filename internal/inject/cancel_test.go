@@ -1,0 +1,163 @@
+package inject
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// cancelConfig is a campaign small enough to finish fast but large
+// enough that a mid-run cancel reliably leaves work behind.
+func cancelConfig() Config {
+	return Config{
+		Kernels:               []string{"ttsprk"},
+		RunCycles:             4000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            8,
+		Seed:                  11,
+	}
+}
+
+// TestCancelThenResumeIdenticalDataset is the graceful-drain contract
+// lockstep-serve relies on: a campaign canceled mid-run returns
+// ErrCanceled, persists a final checkpoint of everything it completed,
+// and a Resume run finishes it with a dataset byte-identical to an
+// uninterrupted run.
+func TestCancelThenResumeIdenticalDataset(t *testing.T) {
+	ref := cancelConfig()
+	refDS, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := refDS.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "ck.lsc")
+	cancel := make(chan struct{})
+	var fired atomic.Bool
+	cfg := cancelConfig()
+	cfg.CheckpointPath = path
+	cfg.CheckpointEvery = 8
+	cfg.Workers = 2
+	cfg.Progress = func(done, total int) {
+		// Cancel a third of the way through, exactly once.
+		if done >= total/3 && fired.CompareAndSwap(false, true) {
+			close(cancel)
+		}
+	}
+	cfg.Cancel = cancel
+
+	ds, st, err := RunStats(cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled campaign returned %v, want ErrCanceled", err)
+	}
+	if ds != nil {
+		t.Fatal("canceled campaign returned a (partial) dataset")
+	}
+	if st.Experiments <= 0 || st.Experiments >= refDS.Len() {
+		t.Fatalf("canceled campaign completed %d of %d experiments, want a strict mid-point", st.Experiments, refDS.Len())
+	}
+
+	// The final checkpoint must cover exactly the completed experiments.
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.DoneCount() != st.Experiments {
+		t.Fatalf("checkpoint covers %d experiments, stats say %d completed", ck.DoneCount(), st.Experiments)
+	}
+
+	res := cancelConfig()
+	res.CheckpointPath = path
+	res.Resume = true
+	resDS, resSt, err := RunStats(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSt.Restored != st.Experiments {
+		t.Fatalf("resume restored %d experiments, want %d", resSt.Restored, st.Experiments)
+	}
+	var got bytes.Buffer
+	if err := resDS.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("canceled+resumed dataset differs from uninterrupted run")
+	}
+}
+
+// TestCancelBeforeStart: a cancel that fires before any experiment is
+// dispatched still drains cleanly and leaves a resumable (empty)
+// checkpoint behind.
+func TestCancelBeforeStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.lsc")
+	cancel := make(chan struct{})
+	close(cancel)
+	cfg := cancelConfig()
+	cfg.CheckpointPath = path
+	cfg.Cancel = cancel
+
+	_, st, err := RunStats(cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	// Workers may have raced a handful of experiments in before the
+	// cancel was observed; all of them must be in the checkpoint.
+	ck, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.DoneCount() != st.Experiments {
+		t.Fatalf("checkpoint covers %d, stats say %d", ck.DoneCount(), st.Experiments)
+	}
+
+	res := cancelConfig()
+	res.CheckpointPath = path
+	res.Resume = true
+	ds, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, _ := res.Total(); ds.Len() != want {
+		t.Fatalf("resumed dataset has %d records, want %d", ds.Len(), want)
+	}
+}
+
+// TestConfigErrorShape pins the typed validation error both the CLI and
+// the lockstep-serve API surface: the offending Config field is named
+// machine-readably, and Error() embeds it.
+func TestConfigErrorShape(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string
+	}{
+		{"unknown kernel", func(c *Config) { c.Kernels = []string{"nosuch"} }, "Kernels"},
+		{"resume without checkpoint", func(c *Config) { c.Resume = true }, "Resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := cancelConfig()
+			tc.mut(&cfg)
+			_, err := cfg.Total()
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Total returned %v (%T), want *ConfigError", err, err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+			if !bytes.Contains([]byte(ce.Error()), []byte(tc.field)) {
+				t.Fatalf("ConfigError.Error() %q does not name the field", ce.Error())
+			}
+			if _, err := Run(cfg); !errors.As(err, &ce) {
+				t.Fatalf("Run returned %v, want the same *ConfigError", err)
+			}
+		})
+	}
+}

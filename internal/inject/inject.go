@@ -28,6 +28,7 @@
 package inject
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,6 +41,27 @@ import (
 	"lockstep/internal/telemetry"
 	"lockstep/internal/workload"
 )
+
+// ConfigError reports an invalid campaign Config. Field names the
+// offending Config field and Reason explains the problem, so every
+// consumer — the campaign CLIs and the lockstep-serve API — can report
+// the same field the same way (the CLI prints Error(), the server echoes
+// Field in its structured JSON error).
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("inject: config %s: %s", e.Field, e.Reason)
+}
+
+// ErrCanceled is returned by Run/RunStats when the campaign was stopped
+// via Config.Cancel before finishing. The partial results are not
+// returned as a dataset; with checkpointing enabled they are persisted
+// in the final checkpoint, and a Resume run completes the campaign with
+// a byte-identical dataset.
+var ErrCanceled = errors.New("inject: campaign canceled")
 
 // Config sizes a campaign.
 type Config struct {
@@ -97,6 +119,16 @@ type Config struct {
 	// missing, corrupt or config-mismatched checkpoint refuses with a
 	// typed error instead of silently restarting.
 	Resume bool
+
+	// Cancel, when non-nil, requests a graceful early stop: once the
+	// channel is closed no further experiments are dispatched, in-flight
+	// experiments drain, and — with CheckpointPath set — a final
+	// checkpoint covering every completed experiment is written before
+	// RunStats returns ErrCanceled. A later run with Resume then finishes
+	// the campaign with a dataset byte-identical to an uninterrupted run.
+	// Cancellation is schedule-neutral, so it is not part of the resume
+	// fingerprint.
+	Cancel <-chan struct{}
 
 	// Retries is how many times a panicking experiment is re-attempted
 	// before being recorded as Failed; 0 means a default of 1, negative
@@ -156,7 +188,7 @@ func (c *Config) normalize() error {
 		c.Retries = 0
 	}
 	if c.Resume && c.CheckpointPath == "" {
-		return fmt.Errorf("inject: Resume requires CheckpointPath")
+		return &ConfigError{Field: "Resume", Reason: "requires CheckpointPath"}
 	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip, lockstep.Stuck0, lockstep.Stuck1}
@@ -168,10 +200,23 @@ func (c *Config) normalize() error {
 	}
 	for _, name := range c.Kernels {
 		if workload.ByName(name) == nil {
-			return fmt.Errorf("inject: unknown kernel %q", name)
+			return &ConfigError{Field: "Kernels", Reason: fmt.Sprintf("unknown kernel %q", name)}
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns the schedule fingerprint of the config: every field
+// that influences which experiments run and what they record, normalized
+// (defaults applied, kernel list expanded). Two configs with equal
+// fingerprints produce byte-identical datasets, so the fingerprint is a
+// stable identity for a campaign — lockstep-serve derives job IDs from
+// it, and checkpoints embed it to refuse mismatched resumes.
+func (c Config) Fingerprint() (Fingerprint, error) {
+	if err := c.normalize(); err != nil {
+		return Fingerprint{}, err
+	}
+	return c.fingerprint(), nil
 }
 
 // Total returns the number of experiments the config will run. A config
@@ -321,7 +366,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 	)
 
 	next := make(chan int)
-	var failures atomic.Int64
+	var failures, executed atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -353,6 +398,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 					Failed:      out.Failed,
 				}
 				tel.record(e, out)
+				executed.Add(1)
 				if done != nil {
 					done[idx].Store(true)
 				}
@@ -363,8 +409,18 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 			}
 		}()
 	}
+	// Dispatch the pending plan indices, stopping early when Cancel
+	// fires (receiving from a nil Cancel blocks forever, so the select
+	// degenerates to a plain send for the common un-cancellable case).
+	canceled := false
+feed:
 	for _, idx := range pending {
-		next <- idx
+		select {
+		case next <- idx:
+		case <-cfg.Cancel:
+			canceled = true
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -375,6 +431,9 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		Failures:    int(failures.Load()),
 		Workers:     workers,
 	}
+	if canceled {
+		st.Experiments = restored + int(executed.Load())
+	}
 	if ckp != nil {
 		n, err := ckp.stop()
 		st.Checkpoints = n
@@ -384,9 +443,12 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 	}
 	st.Elapsed = time.Since(start)
 	if secs := st.Elapsed.Seconds(); secs > 0 {
-		st.PerSec = float64(total) / secs
+		st.PerSec = float64(st.Executed()) / secs
 	}
 	tel.finish(st)
+	if canceled {
+		return nil, st, ErrCanceled
+	}
 	return &dataset.Dataset{Records: records}, st, nil
 }
 

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lockstep/internal/inject"
+)
+
+// apiError is the structured error every non-2xx response carries, as
+// {"error": {"code": ..., "message": ..., "field": ...}}. Code is a
+// stable machine-readable slug; Field names the offending request or
+// config field when one is known (e.g. the inject.ConfigError field for
+// an invalid campaign config), so clients and the CLI can report the
+// same field identically.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// errf builds an apiError with a formatted message.
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// configError maps a campaign config validation failure onto the API
+// error shape, preserving the typed inject.ConfigError's field name.
+func configError(err error) *apiError {
+	var ce *inject.ConfigError
+	if errors.As(err, &ce) {
+		return &apiError{Status: http.StatusBadRequest, Code: "invalid_config", Message: ce.Error(), Field: ce.Field}
+	}
+	return errf(http.StatusBadRequest, "invalid_config", "%v", err)
+}
+
+// writeJSON renders v with the given status. Encoding errors after the
+// header is out are unrecoverable mid-stream and are dropped.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError renders an apiError (any other error becomes a 500).
+func writeError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		ae = errf(http.StatusInternalServerError, "internal", "%v", err)
+	}
+	writeJSON(w, ae.Status, struct {
+		Error *apiError `json:"error"`
+	}{ae})
+}
