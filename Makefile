@@ -3,13 +3,13 @@
 # workers=4 Small-scale campaign must be byte-identical, and the replay
 # path must match the legacy dual-CPU oracle), the crash-safety check
 # (kill/resume at any point must reproduce the byte-identical dataset),
-# the telemetry concurrency tests under -race, and the injection hot-path
-# allocation guard.
+# the telemetry concurrency tests under -race, the injection and predict
+# hot-path allocation guards, and the serving-path SLO smoke.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism telemetry alloc server serve-smoke cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism telemetry alloc server serve-smoke serve-bench serve-slo cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism telemetry alloc server serve-smoke
+ci: vet build race determinism resume-determinism telemetry alloc server serve-smoke serve-slo
 
 vet:
 	$(GO) vet ./...
@@ -62,11 +62,12 @@ serve-smoke:
 # Coverage report with per-package floors: internal/telemetry is the
 # observability backbone (>= 60%), internal/inject carries the campaign,
 # checkpoint and containment machinery (>= 75%), internal/server is the
-# HTTP boundary (>= 70%).
+# HTTP boundary (>= 70%), internal/loadgen generates the benchmark load
+# whose determinism the trajectory relies on (>= 70%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70; do \
+	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70 internal/loadgen:70; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
@@ -75,20 +76,44 @@ cover:
 		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
 	done
 
-# Allocation regression guard for the injection hot path: steady-state
-# Replayer.InjectW must perform zero heap allocations. Run without -race
-# (the detector's instrumentation allocates; the test skips itself there).
+# Allocation regression guards for the two hot paths: steady-state
+# Replayer.InjectW (injection) and predictBytes — decode, dense lookup,
+# render — (serving) must perform zero heap allocations, and the full
+# predict HTTP round trip must stay within its fixed stdlib-plumbing
+# budget. Run without -race (the detector's instrumentation allocates;
+# the tests skip themselves there).
 alloc:
 	$(GO) test -run 'TestInjectReplayZeroAlloc' -count=1 ./internal/lockstep/
+	$(GO) test -run 'TestPredictZeroAlloc' -count=1 ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Quick perf check of the injection hot path: golden-trace replay vs the
-# legacy dual-CPU oracle on the same mix (see BENCH_inject.json for the
-# recorded trajectory).
+# Quick perf check of the two hot paths: golden-trace replay vs the
+# legacy dual-CPU oracle on the same mix (BENCH_inject.json records the
+# trajectory), and the predict decode + serve path over the fuzz seed
+# corpus and production-shaped bodies (BENCH_serve.json).
 bench-quick:
 	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy)$$' -benchmem -benchtime=200ms .
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Decode|E2E)' -benchmem -benchtime=200ms ./internal/server/
+
+# Serving-path load benchmark: lockstep-bench drives a deterministic
+# loadgen schedule (hex/numeric + known/unknown DSR mix, pool seeded
+# from the FuzzPredictRequest corpus) against an in-process
+# lockstep-serve, and appends the median-of-3 p50/p95/p99, req/s and
+# allocs/req to BENCH_serve.json. BENCH_PR labels the entry.
+BENCH_PR ?= local
+serve-bench:
+	$(GO) run ./cmd/lockstep-bench -clients 8 -requests 500 -repeat 3 \
+		-corpus internal/server/testdata/fuzz/FuzzPredictRequest \
+		-append BENCH_serve.json -pr "$(BENCH_PR)"
+
+# Serving-path SLO smoke for ci: at 8 concurrent clients the median p99
+# must stay under 5ms and the steady-state predict path must not
+# allocate. Fails the build (exit 1) when the floor is missed.
+serve-slo:
+	$(GO) run ./cmd/lockstep-bench -clients 8 -requests 200 -repeat 2 \
+		-slo-p99 5ms -slo-allocs 0
 
 # Short fuzz passes over the campaign-log parser, the checkpoint decoder,
 # and the two lockstep-serve request decoders (predict bodies through the

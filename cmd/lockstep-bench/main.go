@@ -1,0 +1,456 @@
+// Command lockstep-bench load-tests the lockstep-serve prediction path
+// and records the trajectory in BENCH_serve.json.
+//
+// Usage:
+//
+//	lockstep-bench [-addr URL] [-table table.lspt] [-corpus dir]
+//	               [-clients N] [-requests N] [-batch N]
+//	               [-hex-prob P] [-known-prob P] [-seed S]
+//	               [-repeat N] [-warmup N] [-subprocess]
+//	               [-append BENCH_serve.json] [-pr label] [-json]
+//	               [-slo-p99 D] [-slo-allocs N]
+//
+// The controller issues a deterministic load shape (internal/loadgen
+// Control: concurrency, batch size, hex/numeric encoding mix,
+// known/unknown DSR mix, seed) against a real lockstep-serve instance —
+// either one reached via -addr, or an in-process server built from
+// -table (or, with no -table, from a small built-in training campaign).
+// Clients run in-process by default; -subprocess re-executes this
+// binary once per client so request issue crosses a process boundary
+// too.
+//
+// Each repeat aggregates per-request walltimes into nearest-rank
+// p50/p95/p99 and req/s; the median repeat (by p99) is reported.
+// In-process runs also measure steady-state allocations per predict
+// request via the server's own probe. -append records a dated entry in
+// BENCH_serve.json (same shape discipline as BENCH_inject.json);
+// -slo-p99/-slo-allocs turn the run into a CI smoke that exits 1 when
+// the service-level floor is missed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"lockstep/internal/core"
+	"lockstep/internal/inject"
+	"lockstep/internal/loadgen"
+	"lockstep/internal/sbist"
+	"lockstep/internal/server"
+	"lockstep/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lockstep-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// cliFlags is everything run parses; kept in a struct so the controller
+// can re-render the relevant subset when spawning subprocess clients.
+type cliFlags struct {
+	addr      string
+	tablePath string
+	corpus    string
+	clients   int
+	requests  int
+	batch     int
+	hexProb   float64
+	knownProb float64
+	seed      int64
+	repeat    int
+	warmup    int
+	subproc   bool
+	appendTo  string
+	pr        string
+	jsonOut   bool
+	sloP99    time.Duration
+	sloAllocs float64
+
+	clientIdx int    // internal: subprocess client mode
+	controlJS string // internal: Control for subprocess client mode
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lockstep-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var f cliFlags
+	fs.StringVar(&f.addr, "addr", "", "base URL of a running lockstep-serve (empty: serve in-process)")
+	fs.StringVar(&f.tablePath, "table", "", "trained table image for the in-process server (empty: train a small built-in campaign)")
+	fs.StringVar(&f.corpus, "corpus", "", "FuzzPredictRequest seed-corpus dir; harvested DSR values join the unknown draw pool")
+	fs.IntVar(&f.clients, "clients", 8, "concurrent clients")
+	fs.IntVar(&f.requests, "requests", 200, "requests per client per repeat")
+	fs.IntVar(&f.batch, "batch", 1, "DSRs per request (1 sends {\"dsr\":...})")
+	fs.Float64Var(&f.hexProb, "hex-prob", 0.5, "probability a DSR is rendered as a hex string")
+	fs.Float64Var(&f.knownProb, "known-prob", 0.5, "probability a DSR is drawn from the trained population")
+	fs.Int64Var(&f.seed, "seed", 1, "load-shape seed (same seed: byte-identical request schedule)")
+	fs.IntVar(&f.repeat, "repeat", 3, "independent repeats; the median by p99 is reported")
+	fs.IntVar(&f.warmup, "warmup", 50, "warmup requests before the first repeat (connection setup, pools)")
+	fs.BoolVar(&f.subproc, "subprocess", false, "run each client as a subprocess of this binary")
+	fs.StringVar(&f.appendTo, "append", "", "append a dated entry to this BENCH_serve.json")
+	fs.StringVar(&f.pr, "pr", "", "entry label for -append")
+	fs.BoolVar(&f.jsonOut, "json", false, "print the report as JSON on stdout")
+	fs.DurationVar(&f.sloP99, "slo-p99", 0, "fail (exit 1) when the median p99 exceeds this")
+	fs.Float64Var(&f.sloAllocs, "slo-allocs", -1, "fail (exit 1) when allocs/request exceeds this (in-process only; -1 disables)")
+	fs.IntVar(&f.clientIdx, "client", -1, "internal: run as subprocess client with this index")
+	fs.StringVar(&f.controlJS, "control", "", "internal: loadgen Control JSON for -client mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if f.clientIdx >= 0 {
+		return runSubprocessClient(f, stdout)
+	}
+	return runController(f, stdout, stderr)
+}
+
+// runSubprocessClient is the -client mode: play one client schedule
+// against -addr and hand the raw ClientReport back over stdout.
+func runSubprocessClient(f cliFlags, stdout io.Writer) error {
+	var ctrl loadgen.Control
+	if err := json.Unmarshal([]byte(f.controlJS), &ctrl); err != nil {
+		return fmt.Errorf("parsing -control: %w", err)
+	}
+	if f.addr == "" {
+		return errors.New("-client requires -addr")
+	}
+	hc := ctrl.NewClient()
+	defer hc.CloseIdleConnections()
+	rep, err := loadgen.RunClient(context.Background(), ctrl, f.clientIdx, f.addr, hc)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(stdout).Encode(rep)
+}
+
+// report is the full benchmark outcome: the load shape, the median
+// repeat, every repeat's summary, and the in-process allocation probe.
+type report struct {
+	Control     loadgen.Control   `json:"control"`
+	Median      loadgen.Summary   `json:"median"`
+	Repeats     []loadgen.Summary `json:"repeats"`
+	AllocsPerRq float64           `json:"allocs_per_req"` // -1 when not measurable (-addr mode)
+}
+
+func runController(f cliFlags, stdout, stderr io.Writer) error {
+	if f.repeat < 1 {
+		f.repeat = 1
+	}
+	ctrl := loadgen.Control{
+		Clients:   f.clients,
+		Requests:  f.requests,
+		Batch:     f.batch,
+		HexProb:   f.hexProb,
+		KnownProb: f.knownProb,
+		Seed:      f.seed,
+	}
+	if f.corpus != "" {
+		pool, err := loadgen.CorpusDSRs(f.corpus)
+		if err != nil {
+			return err
+		}
+		ctrl.Pool = pool
+		fmt.Fprintf(stderr, "lockstep-bench: %d corpus DSR values in the draw pool\n", len(pool))
+	}
+
+	baseURL := f.addr
+	allocs := -1.0
+	if baseURL == "" {
+		srv, table, err := inProcessServer(f, stderr)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		baseURL = "http://" + ln.Addr().String()
+		for id := 0; id < table.Dict.Len(); id++ {
+			ctrl.Known = append(ctrl.Known, table.Dict.Set(id))
+		}
+		probe := []byte(fmt.Sprintf(`{"dsr":"%x"}`, table.Dict.Set(0)))
+		if allocs, err = srv.PredictAllocsPerRun(probe); err != nil {
+			return fmt.Errorf("allocation probe: %w", err)
+		}
+		fmt.Fprintf(stderr, "lockstep-bench: in-process server on %s (%d trained sets, %.1f allocs/req)\n",
+			baseURL, table.Dict.Len(), allocs)
+	} else if f.sloAllocs >= 0 {
+		return errors.New("-slo-allocs needs the in-process server (drop -addr)")
+	}
+
+	if f.warmup > 0 {
+		warm := ctrl
+		warm.Clients = min(ctrl.Clients, 4)
+		warm.Requests = (f.warmup + warm.Clients - 1) / warm.Clients
+		if _, _, err := loadgen.Run(context.Background(), warm, baseURL); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	rep := report{Control: ctrl, AllocsPerRq: allocs}
+	for i := 0; i < f.repeat; i++ {
+		run := ctrl
+		run.Seed = ctrl.Seed + int64(i) // repeats sample independent schedules
+		var sum loadgen.Summary
+		var err error
+		if f.subproc {
+			sum, err = runSubprocessRepeat(run, baseURL)
+		} else {
+			sum, _, err = loadgen.Run(context.Background(), run, baseURL)
+		}
+		if err != nil {
+			return fmt.Errorf("repeat %d: %w", i, err)
+		}
+		if sum.Failures > 0 {
+			return fmt.Errorf("repeat %d: %d of %d requests failed", i, sum.Failures, sum.Requests)
+		}
+		rep.Repeats = append(rep.Repeats, sum)
+		fmt.Fprintf(stderr, "lockstep-bench: repeat %d: %d req, %.0f req/s, p50 %s p95 %s p99 %s\n",
+			i, sum.Requests, sum.ReqPerSec, ms(sum.P50NS), ms(sum.P95NS), ms(sum.P99NS))
+	}
+	med := append([]loadgen.Summary(nil), rep.Repeats...)
+	sort.Slice(med, func(i, j int) bool { return med[i].P99NS < med[j].P99NS })
+	rep.Median = med[len(med)/2]
+	fmt.Fprintf(stderr, "lockstep-bench: median: %.0f req/s, p50 %s p95 %s p99 %s\n",
+		rep.Median.ReqPerSec, ms(rep.Median.P50NS), ms(rep.Median.P95NS), ms(rep.Median.P99NS))
+
+	if f.jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	}
+	if f.appendTo != "" {
+		if err := appendBenchEntry(f.appendTo, f.pr, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "lockstep-bench: appended entry to %s\n", f.appendTo)
+	}
+
+	// SLO smoke: turn a missed floor into a non-zero exit for make ci.
+	if f.sloP99 > 0 && rep.Median.P99NS > f.sloP99.Nanoseconds() {
+		return fmt.Errorf("SLO: median p99 %s exceeds the %s floor", ms(rep.Median.P99NS), f.sloP99)
+	}
+	if f.sloAllocs >= 0 && allocs > f.sloAllocs {
+		return fmt.Errorf("SLO: %.2f allocs/request exceeds the %.2f budget", allocs, f.sloAllocs)
+	}
+	return nil
+}
+
+// inProcessServer builds the server under test: from -table if given,
+// else from a small built-in training campaign (the same schedule the
+// server test fixture trains on).
+func inProcessServer(f cliFlags, stderr io.Writer) (*server.Server, *core.Table, error) {
+	var table *core.Table
+	if f.tablePath != "" {
+		fh, err := os.Open(f.tablePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		table, err = core.ReadTable(fh)
+		fh.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading table %s: %w", f.tablePath, err)
+		}
+	} else {
+		fmt.Fprintln(stderr, "lockstep-bench: no -table; training a built-in campaign (ttsprk, 3000 cycles)")
+		ds, err := inject.Run(inject.Config{
+			Kernels:               []string{"ttsprk"},
+			RunCycles:             3000,
+			Intervals:             64,
+			InjectionsPerFlopKind: 1,
+			FlopStride:            24,
+			Seed:                  9,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		table = core.Train(ds, core.Coarse7, 0)
+	}
+	maxBatch := 1024
+	if f.batch > maxBatch {
+		maxBatch = f.batch
+	}
+	srv, err := server.New(server.Options{
+		Table:    table,
+		SBIST:    sbist.NewConfig(table.Gran, nil, sbist.OnChipTableAccess),
+		MaxBatch: maxBatch,
+		Registry: telemetry.New(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, table, nil
+}
+
+// runSubprocessRepeat re-executes this binary once per client (-client
+// mode) so the load crosses a real process boundary, then aggregates
+// the returned ClientReports.
+func runSubprocessRepeat(ctrl loadgen.Control, baseURL string) (loadgen.Summary, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	ctrlJSON, err := json.Marshal(ctrl)
+	if err != nil {
+		return loadgen.Summary{}, err
+	}
+	cmds := make([]*exec.Cmd, ctrl.Clients)
+	outs := make([]strings.Builder, ctrl.Clients)
+	start := time.Now()
+	for i := range cmds {
+		cmds[i] = exec.Command(exe,
+			"-client", fmt.Sprint(i), "-addr", baseURL, "-control", string(ctrlJSON))
+		cmds[i].Stdout = &outs[i]
+		cmds[i].Stderr = os.Stderr
+		if err := cmds[i].Start(); err != nil {
+			return loadgen.Summary{}, fmt.Errorf("starting client %d: %w", i, err)
+		}
+	}
+	reports := make([]loadgen.ClientReport, 0, ctrl.Clients)
+	var firstErr error
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("client %d: %w", i, err)
+			continue
+		}
+		var r loadgen.ClientReport
+		if err := json.Unmarshal([]byte(outs[i].String()), &r); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("client %d report: %w", i, err)
+			continue
+		}
+		reports = append(reports, r)
+	}
+	if firstErr != nil {
+		return loadgen.Summary{}, firstErr
+	}
+	return loadgen.Aggregate(reports, time.Since(start)), nil
+}
+
+// ---- BENCH_serve.json ---------------------------------------------------
+
+type benchFile struct {
+	Description string       `json:"description"`
+	Host        benchHost    `json:"host"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+type benchHost struct {
+	CPU    string `json:"cpu"`
+	CPUs   int    `json:"cpus"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+}
+
+type benchEntry struct {
+	Date    string       `json:"date"`
+	PR      string       `json:"pr,omitempty"`
+	Load    benchLoad    `json:"load"`
+	Serving benchServing `json:"serving"`
+}
+
+type benchLoad struct {
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	Batch     int     `json:"batch"`
+	HexProb   float64 `json:"hex_prob"`
+	KnownProb float64 `json:"known_prob"`
+	Seed      int64   `json:"seed"`
+	Repeats   int     `json:"repeats"`
+}
+
+type benchServing struct {
+	ReqPerSec   float64 `json:"req_per_sec"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	AllocsPerRq float64 `json:"allocs_per_req"`
+}
+
+const benchDescription = "Serving-path load trajectory. Entries are `make serve-bench` " +
+	"(lockstep-bench against an in-process lockstep-serve: built-in ttsprk training campaign, " +
+	"deterministic loadgen schedule, nearest-rank percentiles over per-request walltimes, " +
+	"median repeat by p99; allocs/req from the server's steady-state predict probe)."
+
+// appendBenchEntry appends one dated entry to path, creating the file —
+// description, host block and all — on first use, mirroring
+// BENCH_inject.json.
+func appendBenchEntry(path, pr string, rep report) error {
+	bf := benchFile{
+		Description: benchDescription,
+		Host: benchHost{
+			CPU:    cpuModel(),
+			CPUs:   runtime.NumCPU(),
+			GOOS:   runtime.GOOS,
+			GOARCH: runtime.GOARCH,
+		},
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			return fmt.Errorf("existing %s is not a bench file: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	bf.Entries = append(bf.Entries, benchEntry{
+		Date: time.Now().Format("2006-01-02"),
+		PR:   pr,
+		Load: benchLoad{
+			Clients:   rep.Control.Clients,
+			Requests:  rep.Control.Requests,
+			Batch:     rep.Control.Batch,
+			HexProb:   rep.Control.HexProb,
+			KnownProb: rep.Control.KnownProb,
+			Seed:      rep.Control.Seed,
+			Repeats:   len(rep.Repeats),
+		},
+		Serving: benchServing{
+			ReqPerSec:   round2(rep.Median.ReqPerSec),
+			P50MS:       round3(float64(rep.Median.P50NS) / 1e6),
+			P95MS:       round3(float64(rep.Median.P95NS) / 1e6),
+			P99MS:       round3(float64(rep.Median.P99NS) / 1e6),
+			AllocsPerRq: rep.AllocsPerRq,
+		},
+	})
+	out, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// cpuModel best-efforts the CPU model name for the host block.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%.3fms", float64(ns)/1e6) }
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

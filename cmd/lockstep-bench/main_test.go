@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lockstep/internal/clitest"
+)
+
+func init()                 { clitest.Register(main) }
+func TestMain(m *testing.M) { clitest.Dispatch(m) }
+
+// benchArgs is the small, fast load every smoke test runs: in-process
+// server trained from the built-in campaign, 2 clients, 20 requests.
+func benchArgs(extra ...string) []string {
+	return append([]string{
+		"-clients", "2", "-requests", "20", "-batch", "2",
+		"-repeat", "2", "-warmup", "4", "-seed", "11",
+	}, extra...)
+}
+
+// parseReport decodes the -json stdout of a bench run.
+func parseReport(t *testing.T, stdout string) report {
+	t.Helper()
+	var rep report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("parsing report %q: %v", stdout, err)
+	}
+	return rep
+}
+
+// TestBenchInProcess runs the full controller against the in-process
+// server: every request must succeed, the allocation probe must read
+// zero, and the report's percentiles must be ordered.
+func TestBenchInProcess(t *testing.T) {
+	res := clitest.Exec(t, benchArgs("-json")...)
+	if res.Code != 0 {
+		t.Fatalf("exit %d:\n%s%s", res.Code, res.Stdout, res.Stderr)
+	}
+	rep := parseReport(t, res.Stdout)
+	if rep.Median.Requests != 40 || rep.Median.Failures != 0 {
+		t.Fatalf("median %+v: want 40 requests, 0 failures", rep.Median)
+	}
+	if len(rep.Repeats) != 2 {
+		t.Fatalf("%d repeats, want 2", len(rep.Repeats))
+	}
+	if rep.AllocsPerRq != 0 {
+		t.Fatalf("allocs/req = %v, want 0", rep.AllocsPerRq)
+	}
+	if rep.Median.P50NS <= 0 || rep.Median.P50NS > rep.Median.P99NS {
+		t.Fatalf("median %+v: percentiles out of order", rep.Median)
+	}
+	if len(rep.Control.Known) == 0 {
+		t.Fatal("controller did not seed the trained population")
+	}
+}
+
+// TestBenchSubprocessClients: -subprocess must produce the same request
+// accounting with real process-boundary clients (each client re-executes
+// this binary in -client mode).
+func TestBenchSubprocessClients(t *testing.T) {
+	res := clitest.Exec(t, benchArgs("-json", "-subprocess", "-repeat", "1")...)
+	if res.Code != 0 {
+		t.Fatalf("exit %d:\n%s%s", res.Code, res.Stdout, res.Stderr)
+	}
+	rep := parseReport(t, res.Stdout)
+	if rep.Median.Requests != 40 || rep.Median.Failures != 0 {
+		t.Fatalf("median %+v: want 40 requests, 0 failures", rep.Median)
+	}
+}
+
+// TestBenchAppend: -append must create BENCH_serve.json with the
+// description/host/entries shape on first use and append on the second.
+func TestBenchAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	for i := 1; i <= 2; i++ {
+		res := clitest.Exec(t, benchArgs("-append", path, "-pr", "smoke")...)
+		if res.Code != 0 {
+			t.Fatalf("run %d: exit %d:\n%s%s", i, res.Code, res.Stdout, res.Stderr)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bf benchFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			t.Fatalf("run %d: %v in\n%s", i, err, raw)
+		}
+		if len(bf.Entries) != i {
+			t.Fatalf("run %d: %d entries", i, len(bf.Entries))
+		}
+		e := bf.Entries[i-1]
+		if bf.Description == "" || bf.Host.CPUs < 1 || e.Date == "" || e.PR != "smoke" {
+			t.Fatalf("run %d: incomplete entry %+v (host %+v)", i, e, bf.Host)
+		}
+		if e.Serving.ReqPerSec <= 0 || e.Serving.P99MS < e.Serving.P50MS || e.Serving.AllocsPerRq != 0 {
+			t.Fatalf("run %d: implausible serving block %+v", i, e.Serving)
+		}
+		if e.Load.Clients != 2 || e.Load.Requests != 20 || e.Load.Batch != 2 || e.Load.Repeats != 2 {
+			t.Fatalf("run %d: load block %+v does not echo the flags", i, e.Load)
+		}
+	}
+}
+
+// TestBenchCorpusPool: -corpus harvests the real fuzz seed corpus into
+// the draw pool.
+func TestBenchCorpusPool(t *testing.T) {
+	corpus := filepath.Join("..", "..", "internal", "server", "testdata", "fuzz", "FuzzPredictRequest")
+	res := clitest.Exec(t, benchArgs("-json", "-repeat", "1", "-corpus", corpus)...)
+	if res.Code != 0 {
+		t.Fatalf("exit %d:\n%s%s", res.Code, res.Stdout, res.Stderr)
+	}
+	rep := parseReport(t, res.Stdout)
+	if len(rep.Control.Pool) == 0 {
+		t.Fatal("corpus pool not seeded")
+	}
+	if !strings.Contains(res.Stderr, "corpus DSR values in the draw pool") {
+		t.Fatalf("missing corpus note in stderr:\n%s", res.Stderr)
+	}
+}
+
+// TestBenchSLO: an unmeetable p99 floor must exit 1 with an SLO error;
+// a generous one must pass. The alloc budget SLO passes at 0 thanks to
+// the zero-alloc predict path.
+func TestBenchSLO(t *testing.T) {
+	res := clitest.Exec(t, benchArgs("-slo-p99", "1ns")...)
+	if res.Code != 1 || !strings.Contains(res.Stderr, "SLO: median p99") {
+		t.Fatalf("exit %d, stderr:\n%s", res.Code, res.Stderr)
+	}
+	res = clitest.Exec(t, benchArgs("-repeat", "1", "-slo-p99", "1m", "-slo-allocs", "0")...)
+	if res.Code != 0 {
+		t.Fatalf("generous SLO failed: exit %d:\n%s", res.Code, res.Stderr)
+	}
+}
+
+// TestBenchFlagErrors: unusable flag combinations fail fast.
+func TestBenchFlagErrors(t *testing.T) {
+	res := clitest.Exec(t, "-addr", "http://127.0.0.1:1", "-slo-allocs", "0")
+	if res.Code != 1 || !strings.Contains(res.Stderr, "-slo-allocs needs the in-process server") {
+		t.Fatalf("exit %d, stderr:\n%s", res.Code, res.Stderr)
+	}
+	res = clitest.Exec(t, "-client", "0", "-control", "{}")
+	if res.Code != 1 || !strings.Contains(res.Stderr, "-client requires -addr") {
+		t.Fatalf("exit %d, stderr:\n%s", res.Code, res.Stderr)
+	}
+	res = clitest.Exec(t, "-table", filepath.Join(t.TempDir(), "missing.lspt"))
+	if res.Code != 1 {
+		t.Fatalf("missing table: exit %d:\n%s", res.Code, res.Stderr)
+	}
+}

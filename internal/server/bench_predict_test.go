@@ -1,0 +1,153 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadPredictCorpus returns the request bodies of the FuzzPredictRequest
+// seed corpus under testdata/fuzz — the shared input set for the decoder
+// benchmarks and the decoder-reference test.
+func loadPredictCorpus(t testing.TB) [][]byte {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", "FuzzPredictRequest")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fuzz corpus: %v", err)
+	}
+	var out [][]byte
+	for _, f := range files {
+		raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			line = strings.TrimSpace(line)
+			const prefix = "[]byte("
+			if !strings.HasPrefix(line, prefix) || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			s, err := strconv.Unquote(line[len(prefix) : len(line)-1])
+			if err != nil {
+				t.Fatalf("corpus %s: unquoting %q: %v", f.Name(), line, err)
+			}
+			out = append(out, []byte(s))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no corpus entries under %s", dir)
+	}
+	return out
+}
+
+// batchBody builds a valid n-DSR batch request mixing hex and numeric
+// encodings of trained and unobserved DSRs, seeded from the fixture
+// table.
+func batchBody(t testing.TB, n int) []byte {
+	t.Helper()
+	_, _, table := fixtureData()
+	var b bytes.Buffer
+	b.WriteString(`{"dsrs":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		dsr := table.Dict.Set(i % table.Dict.Len())
+		if i%3 == 2 {
+			dsr = ^dsr // unobserved: exercise the default-entry render
+		}
+		if i%2 == 0 {
+			fmt.Fprintf(&b, `"%x"`, dsr)
+		} else {
+			fmt.Fprintf(&b, `%d`, dsr)
+		}
+	}
+	b.WriteString(`]}`)
+	return b.Bytes()
+}
+
+// BenchmarkPredictDecode measures the zero-alloc request scanner over
+// the FuzzPredictRequest seed corpus (valid and invalid bodies alike,
+// round-robin), plus the two shapes that dominate production traffic.
+func BenchmarkPredictDecode(b *testing.B) {
+	corpus := loadPredictCorpus(b)
+	single := []byte(`{"dsr":"1a2b"}`)
+	batch := batchBody(b, 1024)
+
+	b.Run("corpus", func(b *testing.B) {
+		var dst []uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, _ := parsePredictInto(corpus[i%len(corpus)], dst[:0], 1024)
+			if got != nil {
+				dst = got
+			}
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		var dst []uint64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := parsePredictInto(single, dst[:0], 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = got
+		}
+	})
+	b.Run("batch1024", func(b *testing.B) {
+		var dst []uint64
+		b.SetBytes(int64(len(batch)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := parsePredictInto(batch, dst[:0], 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = got
+		}
+	})
+}
+
+// BenchmarkPredictE2E measures the serving hot path end to end — body
+// bytes in, response bytes out: pooled decode, dense DSR→prediction
+// lookup, response render. This is the unit the CI alloc guard holds at
+// zero allocs/op.
+func BenchmarkPredictE2E(b *testing.B) {
+	_, _, table := fixtureData()
+	s, err := New(Options{Table: table})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"single-known", []byte(fmt.Sprintf(`{"dsr":"%x"}`, table.Dict.Set(0)))},
+		{"single-unknown", []byte(`{"dsr":"3fffffffffffffff"}`)},
+		{"batch1024", batchBody(b, 1024)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			sc := &predictScratch{}
+			if _, _, err := s.predictBytes(ctx, sc, tc.body); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(tc.body)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.predictBytes(ctx, sc, tc.body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ---- reference decoder -------------------------------------------------
+//
+// This is the PR-5 reflection decoder, kept verbatim as the behavioural
+// oracle for the zero-alloc scanner in decode.go: same accept/reject
+// decisions, same parsed values, same error status/code/field.
+
+type refDSRValue uint64
+
+func (d *refDSRValue) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+		v, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return fmt.Errorf("DSR %q is not a hex diverged-SC map", s)
+		}
+		*d = refDSRValue(v)
+		return nil
+	}
+	v, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return fmt.Errorf("DSR %s is not a hex string or non-negative integer", b)
+	}
+	*d = refDSRValue(v)
+	return nil
+}
+
+type refPredictRequest struct {
+	DSR  *refDSRValue  `json:"dsr,omitempty"`
+	DSRs []refDSRValue `json:"dsrs,omitempty"`
+}
+
+func referenceParsePredict(data []byte, maxBatch int) ([]uint64, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var req refPredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, errf(http.StatusBadRequest, "bad_request", "decoding request: %v", err)
+	}
+	if dec.More() {
+		return nil, errf(http.StatusBadRequest, "bad_request", "trailing data after request object")
+	}
+	switch {
+	case req.DSR != nil && req.DSRs != nil:
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: "dsr and dsrs are mutually exclusive", Field: "dsr"}
+	case req.DSR != nil:
+		return []uint64{uint64(*req.DSR)}, nil
+	case len(req.DSRs) == 0:
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
+			Message: "one of dsr or dsrs is required", Field: "dsr"}
+	case len(req.DSRs) > maxBatch:
+		return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Code: "batch_too_large",
+			Message: fmt.Sprintf("batch of %d DSRs exceeds the %d limit", len(req.DSRs), maxBatch), Field: "dsrs"}
+	}
+	out := make([]uint64, len(req.DSRs))
+	for i, v := range req.DSRs {
+		out[i] = uint64(v)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------------------
+
+// checkDecodeAgainstReference runs one body through both decoders and
+// fails unless they agree on accept/reject, the parsed batch, and the
+// error's status, code and field.
+func checkDecodeAgainstReference(t *testing.T, body []byte, maxBatch int) {
+	t.Helper()
+	want, wantErr := referenceParsePredict(body, maxBatch)
+	got, gotErr := parsePredictInto(body, nil, maxBatch)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("body %q: reference err %v, scanner err %v", body, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		var wa, ga *apiError
+		if !errors.As(wantErr, &wa) || !errors.As(gotErr, &ga) {
+			t.Fatalf("body %q: non-apiError (%v vs %v)", body, wantErr, gotErr)
+		}
+		if wa.Status != ga.Status || wa.Code != ga.Code || wa.Field != ga.Field {
+			t.Fatalf("body %q: reference %d/%s/%q, scanner %d/%s/%q (%v vs %v)",
+				body, wa.Status, wa.Code, wa.Field, ga.Status, ga.Code, ga.Field, wantErr, gotErr)
+		}
+		return
+	}
+	if len(want) != len(got) {
+		t.Fatalf("body %q: reference %d DSRs, scanner %d", body, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("body %q: DSR %d is %x per reference, %x per scanner", body, i, want[i], got[i])
+		}
+	}
+}
+
+// TestDecodeMatchesReference locks the zero-alloc scanner to the PR-5
+// reflection decoder over the fuzz seed corpus and a table of crafted
+// bodies covering every grammar branch and error precedence rule.
+func TestDecodeMatchesReference(t *testing.T) {
+	bodies := []string{
+		// happy paths
+		`{"dsr":"1a2b"}`, `{"dsr":"0x1a2b"}`, `{"dsr":"0X1A2B"}`, `{"dsr":42}`,
+		`{"dsr":0}`, `{"dsr":"0"}`, `{"dsr":"ffffffffffffffff"}`,
+		`{"dsr":18446744073709551615}`, `{"dsrs":[1,2,3]}`,
+		`{"dsrs":["0","ffffffffffffffff",7]}`, `{"dsrs":["0x0X1","0X0x1"]}`,
+		` { "dsr" : "2a" } `, "\t{\n\"dsrs\"\r:\n[ 1 , \"2\" ]\n}\n",
+		`{"dsr":"00000000000000000001"}`,
+		// case-insensitive field match
+		`{"DSR":"1"}`, `{"Dsrs":[1]}`,
+		// escaped strings (slow path)
+		`{"dsr":"\u0031\u0061"}`, `{"dsrs":["\u0032"]}`,
+		// last-wins duplicate keys
+		`{"dsr":1,"dsr":2}`, `{"dsrs":[1],"dsrs":[2,3]}`,
+		// null fields and null elements
+		`{"dsr":null}`, `{"dsrs":null}`, `{"dsrs":[null]}`, `null`,
+		// required / exclusive / batch errors
+		`{}`, `{"dsr":"1","dsrs":["2"]}`, `{"dsrs":["1"],"dsr":"2"}`, `{"dsrs":[]}`,
+		`{"dsrs":[1,2,3,4,5]}`, `{"dsr":"1","dsrs":[1,2,3,4,5]}`,
+		// value errors
+		`{"dsr":"zz"}`, `{"dsr":"-4"}`, `{"dsr":""}`, `{"dsr":"0x"}`,
+		`{"dsr":-1}`, `{"dsr":1.5}`, `{"dsr":1e300}`, `{"dsr":true}`,
+		`{"dsr":[1]}`, `{"dsr":{}}`, `{"dsrs":[true]}`, `{"dsrs":["zz"]}`,
+		`{"dsr":184467440737095516160}`, `{"dsrs":[18446744073709551616]}`,
+		`{"dsr":"10000000000000000"}`,
+		// syntax errors
+		``, ` `, `{`, `[]`, `true`, `"dsr"`, `{"dsr":}`, `{"dsr"}`, `{,}`,
+		`{"dsr":42,}`, `{"dsr":42 "x":1}`, `{"dsrs":[1,]}`, `{"dsrs":[1 2]}`,
+		`{"dsrs":"1"}`, `{"dsr":"1"`, `{"dsrs":[1`, `{"dsr":01}`,
+		// unknown fields and trailing data
+		`{"x":1}`, `{"dsr":"1","x":2}`, `{"dsr":"1"} {}`, `{"dsr":"1"} trailing`,
+		`null {}`,
+	}
+	for _, f := range loadPredictCorpus(t) {
+		bodies = append(bodies, string(f))
+	}
+	for _, b := range bodies {
+		checkDecodeAgainstReference(t, []byte(b), 4)
+	}
+}
+
+// TestDecodeStricterThanReference records the one deliberate tightening
+// over the reflection decoder: json.Decoder.More() treated a trailing
+// close-delimiter as end-of-stream, so the old path silently accepted
+// bodies like `{"dsr":"1"}}`. The scanner rejects all trailing bytes.
+func TestDecodeStricterThanReference(t *testing.T) {
+	for _, body := range []string{`{"dsr":"1"}}`, `{"dsr":"1"}]`} {
+		if _, err := referenceParsePredict([]byte(body), 4); err != nil {
+			t.Fatalf("reference unexpectedly rejects %q: %v", body, err)
+		}
+		if _, err := parsePredictInto([]byte(body), nil, 4); err == nil {
+			t.Fatalf("scanner accepts trailing close-delimiter %q", body)
+		}
+	}
+}
+
+// TestDecodeMatchesReferenceRandom hammers both decoders with seeded
+// randomly composed bodies — valid and broken fragments mixed — so
+// agreement does not hinge on the hand-picked table above.
+func TestDecodeMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	values := []string{
+		`"1a"`, `"0"`, `"0xff"`, `"zz"`, `""`, `17`, `0`, `-3`, `1.5`, `2e9`,
+		`"ffffffffffffffff"`, `18446744073709551615`, `99999999999999999999`,
+		`true`, `null`, `[]`, `{}`, `"\u0041"`, `07`,
+	}
+	keys := []string{`"dsr"`, `"dsrs"`, `"DSR"`, `"other"`, `"dsr"`, `"dsrs"`}
+	ws := []string{"", " ", "\n", "\t "}
+	w := func() string { return ws[rng.Intn(len(ws))] }
+	for i := 0; i < 3000; i++ {
+		var b strings.Builder
+		b.WriteString(w() + "{")
+		pairs := rng.Intn(3)
+		for p := 0; p < pairs; p++ {
+			if p > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(w() + keys[rng.Intn(len(keys))] + w() + ":" + w())
+			if rng.Intn(2) == 0 {
+				b.WriteString(values[rng.Intn(len(values))])
+			} else {
+				n := rng.Intn(7)
+				b.WriteString("[")
+				for e := 0; e < n; e++ {
+					if e > 0 {
+						b.WriteString("," + w())
+					}
+					b.WriteString(values[rng.Intn(len(values))])
+				}
+				b.WriteString("]")
+			}
+			b.WriteString(w())
+		}
+		b.WriteString("}")
+		if rng.Intn(8) == 0 {
+			b.WriteString(" {}")
+		}
+		body := b.String()
+		if rng.Intn(10) == 0 && len(body) > 2 {
+			body = body[:rng.Intn(len(body))] // truncate: syntax errors
+		}
+		checkDecodeAgainstReference(t, []byte(body), 4)
+	}
+}
+
+// TestReadBodyInto covers the pooled body reader: capacity reuse, exact
+// EOF handling, and the over-limit path.
+func TestReadBodyInto(t *testing.T) {
+	buf, err := readBodyInto(strings.NewReader("hello"), nil, 16)
+	if err != nil || string(buf) != "hello" {
+		t.Fatalf("read: %q, %v", buf, err)
+	}
+	reused, err := readBodyInto(strings.NewReader("ok"), buf, 16)
+	if err != nil || string(reused) != "ok" {
+		t.Fatalf("reuse: %q, %v", reused, err)
+	}
+	if &reused[0] != &buf[0] {
+		t.Fatal("reuse did not keep the buffer")
+	}
+	if _, err := readBodyInto(strings.NewReader(strings.Repeat("x", 17)), nil, 16); err != errBodyTooLarge {
+		t.Fatalf("over limit: %v, want errBodyTooLarge", err)
+	}
+	if b, err := readBodyInto(strings.NewReader(strings.Repeat("x", 16)), nil, 16); err != nil || len(b) != 16 {
+		t.Fatalf("at limit: %d bytes, %v", len(b), err)
+	}
+}

@@ -1,55 +1,15 @@
 package server
 
 import (
-	"encoding/json"
-	"errors"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
-	"strconv"
-	"strings"
-
-	"lockstep/internal/handler"
-	"lockstep/internal/telemetry"
+	"runtime"
 )
 
 // maxPredictBody bounds a predict request body; a 1024-DSR batch of hex
 // strings is well under this.
 const maxPredictBody = 1 << 20
-
-// dsrValue decodes a Divergence Status Register snapshot from JSON:
-// either a hex string ("1a2b" or "0x1a2b", the dataset CSV convention)
-// or a non-negative integer.
-type dsrValue uint64
-
-func (d *dsrValue) UnmarshalJSON(b []byte) error {
-	if len(b) > 0 && b[0] == '"' {
-		var s string
-		if err := json.Unmarshal(b, &s); err != nil {
-			return err
-		}
-		s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
-		v, err := strconv.ParseUint(s, 16, 64)
-		if err != nil {
-			return fmt.Errorf("DSR %q is not a hex diverged-SC map", s)
-		}
-		*d = dsrValue(v)
-		return nil
-	}
-	v, err := strconv.ParseUint(string(b), 10, 64)
-	if err != nil {
-		return fmt.Errorf("DSR %s is not a hex string or non-negative integer", b)
-	}
-	*d = dsrValue(v)
-	return nil
-}
-
-// predictRequest is the /v1/predict body: exactly one of dsr (single)
-// or dsrs (batch) must be present.
-type predictRequest struct {
-	DSR  *dsrValue  `json:"dsr,omitempty"`
-	DSRs []dsrValue `json:"dsrs,omitempty"`
-}
 
 // predictionJSON is one prediction in the response: the DSR→PTAR→table
 // lookup result the on-device error handler would act on.
@@ -68,87 +28,89 @@ type predictResponse struct {
 	Predictions []predictionJSON `json:"predictions"`
 }
 
-// parsePredictRequest decodes and validates a predict body into the DSR
-// batch to look up. It is the fuzz surface of FuzzPredictRequest.
-func parsePredictRequest(data []byte, maxBatch int) ([]dsrValue, error) {
-	dec := json.NewDecoder(strings.NewReader(string(data)))
-	dec.DisallowUnknownFields()
-	var req predictRequest
-	if err := dec.Decode(&req); err != nil {
-		return nil, errf(http.StatusBadRequest, "bad_request", "decoding request: %v", err)
-	}
-	if dec.More() {
-		return nil, errf(http.StatusBadRequest, "bad_request", "trailing data after request object")
-	}
-	switch {
-	case req.DSR != nil && req.DSRs != nil:
-		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
-			Message: "dsr and dsrs are mutually exclusive", Field: "dsr"}
-	case req.DSR != nil:
-		return []dsrValue{*req.DSR}, nil
-	case len(req.DSRs) == 0:
-		return nil, &apiError{Status: http.StatusBadRequest, Code: "bad_request",
-			Message: "one of dsr or dsrs is required", Field: "dsr"}
-	case len(req.DSRs) > maxBatch:
-		return nil, &apiError{Status: http.StatusRequestEntityTooLarge, Code: "batch_too_large",
-			Message: fmt.Sprintf("batch of %d DSRs exceeds the %d limit", len(req.DSRs), maxBatch), Field: "dsrs"}
-	}
-	return req.DSRs, nil
-}
-
 // handlePredict serves POST /v1/predict: the online half of the paper's
 // flow. Each DSR is pushed through the same front-end the error handler
 // uses — latch, PTAR address mapping, table entry fetch — and the
-// predicted unit order and soft/hard verdict come back.
+// predicted unit order and soft/hard verdict come back. The whole
+// request is served out of pooled scratch against the precomputed dense
+// table: the only per-request heap work left is what stdlib HTTP
+// plumbing does around this handler (TestPredictZeroAlloc holds the
+// handler-owned part at zero and the full round trip to a fixed
+// budget).
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
-	if s.opt.Table == nil {
+	if s.dense == nil {
 		return errf(http.StatusServiceUnavailable, "table_not_loaded",
 			"no prediction table loaded (start lockstep-serve with -table)")
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	sc := getPredictScratch()
+	defer putPredictScratch(sc)
+
+	body, err := readBodyInto(r.Body, sc.body, maxPredictBody)
+	sc.body = body
+	if err == errBodyTooLarge {
+		return errf(http.StatusRequestEntityTooLarge, "body_too_large",
+			"request body exceeds %d bytes", maxPredictBody)
+	}
 	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return errf(http.StatusRequestEntityTooLarge, "body_too_large",
-				"request body exceeds %d bytes", tooLarge.Limit)
-		}
 		return errf(http.StatusBadRequest, "bad_request", "reading body: %v", err)
 	}
-	dsrs, err := parsePredictRequest(body, s.opt.MaxBatch)
+
+	out, n, err := s.predictBytes(r.Context(), sc, body)
 	if err != nil {
 		return err
 	}
-
-	h := handler.New(s.opt.Table, s.opt.SBIST)
-	resp := predictResponse{
-		Granularity: s.opt.Table.Gran.String(),
-		TableSets:   s.opt.Table.Dict.Len(),
-		Predictions: make([]predictionJSON, 0, len(dsrs)),
-	}
-	for _, d := range dsrs {
-		if err := deadlineErr(r.Context()); err != nil {
-			return err
-		}
-		p := h.Predict(uint64(d))
-		order := make([]int, len(p.Order))
-		for i, u := range p.Order {
-			order[i] = int(u)
-		}
-		typ := "soft"
-		if p.Hard {
-			typ = "hard"
-		}
-		resp.Predictions = append(resp.Predictions, predictionJSON{
-			DSR:   fmt.Sprintf("%x", p.DSR),
-			PTAR:  p.PTAR,
-			Known: p.Known,
-			Type:  typ,
-			Units: p.Units,
-			Order: order,
-		})
-	}
-	s.reg.Counter("server.predictions").Add(int64(len(dsrs)))
-	s.reg.Histogram("server.predict_batch", telemetry.PopBuckets).Observe(int64(len(dsrs)))
-	writeJSON(w, http.StatusOK, resp)
+	s.predictions.Add(int64(n))
+	s.predictBatch.Observe(int64(n))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
 	return nil
+}
+
+// predictBytes is the serving hot path minus HTTP plumbing: decode the
+// request body and render the response bytes out of sc's reusable
+// buffers, returning the rendered response and the batch size. It is the
+// unit BenchmarkPredictE2E and the lockstep-bench allocs/req probe
+// measure, and it performs zero heap allocations in steady state.
+func (s *Server) predictBytes(ctx context.Context, sc *predictScratch, body []byte) ([]byte, int, error) {
+	dsrs, err := parsePredictInto(body, sc.dsrs, s.opt.MaxBatch)
+	if dsrs != nil {
+		sc.dsrs = dsrs[:0]
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := s.dense.appendResponse(sc.out[:0], dsrs, ctx)
+	sc.out = out[:0]
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(dsrs), nil
+}
+
+// PredictAllocsPerRun measures the steady-state heap allocations one
+// predict request costs on the serving hot path (request decode + dense
+// lookup + response render — everything the server adds beyond stdlib
+// HTTP plumbing) for the given request body. lockstep-bench reports it
+// as allocs/req in BENCH_serve.json and the CI SLO smoke holds it at
+// zero. The measurement mirrors testing.AllocsPerRun: warm up, pin to
+// one P, and average the mallocs delta over many runs.
+func (s *Server) PredictAllocsPerRun(body []byte) (float64, error) {
+	if s.dense == nil {
+		return 0, fmt.Errorf("no prediction table loaded")
+	}
+	sc := &predictScratch{}
+	ctx := context.Background()
+	if _, _, err := s.predictBytes(ctx, sc, body); err != nil {
+		return 0, fmt.Errorf("probe body rejected: %w", err)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	const runs = 100
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		s.predictBytes(ctx, sc, body)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / runs, nil
 }

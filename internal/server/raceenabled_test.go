@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression guard skips its strict zero-alloc assertion under
+// -race, where the detector's own bookkeeping allocates.
+const raceEnabled = true

@@ -109,6 +109,13 @@ type Server struct {
 	inFlight  *telemetry.Gauge
 	throttled *telemetry.Counter
 
+	// dense is the precomputed serving form of Options.Table (nil when
+	// no table is loaded); predictions/predictBatch are its metric
+	// handles, hoisted out of the hot path.
+	dense        *denseTable
+	predictions  *telemetry.Counter
+	predictBatch *telemetry.Histogram
+
 	// testHold, when non-nil, blocks every request after it has claimed
 	// its limiter slot — tests use it to fill the limiter determin-
 	// istically and assert the 429 path.
@@ -127,6 +134,15 @@ func New(opt Options) (*Server, error) {
 		limiter:   make(chan struct{}, opt.MaxInFlight),
 		inFlight:  opt.Registry.Gauge("server.in_flight"),
 		throttled: opt.Registry.Counter("server.throttled"),
+	}
+	if opt.Table != nil {
+		dense, err := newDenseTable(opt.Table, opt.SBIST)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.dense = dense
+		s.predictions = opt.Registry.Counter("server.predictions")
+		s.predictBatch = opt.Registry.Histogram("server.predict_batch", telemetry.PopBuckets)
 	}
 	if opt.DataDir != "" {
 		jobs, err := newJobManager(opt, s.reg)
