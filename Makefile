@@ -1,15 +1,17 @@
 # CI entry points. `make ci` is the gate: vet, build, the full test suite
 # under the race detector, the campaign determinism check (a serial vs
-# workers=4 Small-scale campaign must be byte-identical, and the replay
-# path must match the legacy dual-CPU oracle), the crash-safety check
-# (kill/resume at any point must reproduce the byte-identical dataset),
-# the telemetry concurrency tests under -race, the injection and predict
-# hot-path allocation guards, and the serving-path SLO smoke.
+# workers=4 Small-scale campaign must be byte-identical, the replay path
+# must match the legacy dual-CPU oracle, and the pruned campaign must
+# match the -no-prune one), the crash-safety check (kill/resume at any
+# point must reproduce the byte-identical dataset), the pruning
+# differential-oracle soundness gate, the telemetry concurrency tests
+# under -race, the injection and predict hot-path allocation guards, and
+# the serving-path SLO smoke.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism telemetry alloc server serve-smoke serve-bench serve-slo cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism telemetry alloc server serve-smoke serve-slo
+ci: vet build race determinism resume-determinism prune-soundness telemetry alloc server serve-smoke serve-slo
 
 vet:
 	$(GO) vet ./...
@@ -28,7 +30,7 @@ race:
 # golden-trace replay path must reproduce the legacy dual-CPU oracle's
 # outcomes bit for bit (per-experiment and as a whole campaign dataset).
 determinism:
-	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial|TestReplayMatchesLegacyOracle|TestLegacyOracleDatasetIdentical|TestGoldenTraceSelfCheck' -count=1 \
+	$(GO) test -race -run 'TestWorkerCountInvariance|TestProgressMonotonic|TestConcurrentInjectMatchesSerial|TestReplayMatchesLegacyOracle|TestLegacyOracleDatasetIdentical|TestPrunedMatchesUnpruned|TestGoldenTraceSelfCheck' -count=1 \
 		./internal/inject/ ./internal/lockstep/
 
 # The crash-safety contracts, explicitly: resuming a campaign from any
@@ -39,6 +41,15 @@ determinism:
 resume-determinism:
 	$(GO) test -run 'TestResumeProducesIdenticalDataset|TestResumeConfigMismatch|TestResumeRefusesBadCheckpoint|TestPanicContainment' -count=1 ./internal/inject/
 	$(GO) test -run 'TestKillResumeEquivalence|TestCLIResumeRefusals' -count=1 ./cmd/lockstep-inject/
+
+# The pruning soundness gate: every (kernel, fault kind) pair's pruned
+# sites are differentially re-simulated on the replay oracle at a >= 1%
+# sample (seeded, so the sample is reproducible) and every predicted
+# outcome must match the simulation exactly. Run with the trace-codec
+# round-trip checks so a compaction change cannot silently shift what
+# the liveness analysis observes.
+prune-soundness:
+	$(GO) test -run 'TestPruneSoundness|TestPruneCoverageSubstantial|TestPruneSoftLastCycle|TestPruneRejectsOutOfRange|TestStreamClassification|TestTraceCodecRoundTrip' -count=1 ./internal/lockstep/
 
 # The telemetry layer's own contract, under -race: exact totals from
 # NumCPU hammering goroutines, monotone histogram buckets, and
@@ -63,11 +74,13 @@ serve-smoke:
 # observability backbone (>= 60%), internal/inject carries the campaign,
 # checkpoint and containment machinery (>= 75%), internal/server is the
 # HTTP boundary (>= 70%), internal/loadgen generates the benchmark load
-# whose determinism the trajectory relies on (>= 70%).
+# whose determinism the trajectory relies on (>= 70%), internal/lockstep
+# carries the liveness pruning, trace compaction and replay machinery
+# (>= 75%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70 internal/loadgen:70; do \
+	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70 internal/loadgen:70 internal/lockstep:75; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
@@ -89,12 +102,13 @@ alloc:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# Quick perf check of the two hot paths: golden-trace replay vs the
-# legacy dual-CPU oracle on the same mix (BENCH_inject.json records the
-# trajectory), and the predict decode + serve path over the fuzz seed
-# corpus and production-shaped bodies (BENCH_serve.json).
+# Quick perf check of the hot paths: golden-trace replay vs the legacy
+# dual-CPU oracle vs the pruned campaign path on the same mix
+# (BENCH_inject.json records the trajectory), and the predict decode +
+# serve path over the fuzz seed corpus and production-shaped bodies
+# (BENCH_serve.json).
 bench-quick:
-	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy)$$' -benchmem -benchtime=200ms .
+	$(GO) test -run '^$$' -bench 'BenchmarkInject(Replay|Legacy|Pruned)$$' -benchmem -benchtime=200ms .
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict(Decode|E2E)' -benchmem -benchtime=200ms ./internal/server/
 
 # Serving-path load benchmark: lockstep-bench drives a deterministic
@@ -116,10 +130,12 @@ serve-slo:
 		-slo-p99 5ms -slo-allocs 0
 
 # Short fuzz passes over the campaign-log parser, the checkpoint decoder,
-# and the two lockstep-serve request decoders (predict bodies through the
-# full endpoint, campaign submissions through the validation layer).
+# the compacted golden-trace codec, and the two lockstep-serve request
+# decoders (predict bodies through the full endpoint, campaign
+# submissions through the validation layer).
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=30s ./internal/lockstep/
 	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=30s ./internal/server/
 	$(GO) test -fuzz=FuzzCampaignRequest -fuzztime=30s ./internal/server/

@@ -339,6 +339,29 @@ func BenchmarkInjectLegacy(b *testing.B) {
 	}
 }
 
+// BenchmarkInjectPruned measures the same injection mix with the static
+// fault-equivalence prune consulted first — the campaign's actual
+// per-experiment path with pruning enabled: sites the golden run's
+// liveness analysis proves masked are recorded in O(1) without
+// simulation, the rest fall through to the replayer. The speedup over
+// BenchmarkInjectReplay is the prune hit rate times the per-experiment
+// replay cost.
+func BenchmarkInjectPruned(b *testing.B) {
+	g, mix := injectionBenchSetup(b)
+	rep := lockstep.NewReplayer()
+	pruned := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj := mix[i%len(mix)]
+		if _, ok := g.Prune(inj); ok {
+			pruned++
+			continue
+		}
+		rep.InjectW(g, inj, lockstep.StopLatency)
+	}
+	b.ReportMetric(100*float64(pruned)/float64(b.N), "%pruned")
+}
+
 // BenchmarkCampaign measures end-to-end campaign throughput (experiments
 // per second) at several worker-pool sizes. The dataset is worker-count-
 // invariant, so the sub-benchmarks are directly comparable: on a multicore

@@ -10,14 +10,16 @@
 //	                     [-html report.html] [-workers N] [-quiet]
 //	                     [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                     [-metrics snapshot.json] [-pprof addr]
-//	                     [-legacy-inject]
+//	                     [-legacy-inject] [-no-prune]
 //
 // The campaign shards across -workers parallel executors (default: all
 // CPUs). The dataset is bit-identical for every worker count, so -workers
 // only changes wall-clock time; the throughput line reports it.
 // -legacy-inject runs the campaign on the original dual-CPU simulation
-// instead of golden-trace replay — bit-identical dataset at roughly half
-// the throughput, kept as the differential-testing oracle.
+// instead of golden-trace replay, and -no-prune disables the static
+// fault-equivalence pruning of provably-masked sites — both produce the
+// bit-identical dataset at lower throughput and are kept as the
+// differential-testing oracles.
 //
 // -checkpoint makes the campaign phase crash-safe (an atomic resumable
 // checkpoint every -checkpoint-every completed experiments); after an
@@ -66,6 +68,7 @@ type options struct {
 	resume     bool
 	workers    int
 	legacy     bool
+	noPrune    bool
 	quiet      bool
 }
 
@@ -81,6 +84,7 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "write the telemetry JSON snapshot to this path after the run")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.BoolVar(&o.legacy, "legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
+	flag.BoolVar(&o.noPrune, "no-prune", false, "disable static fault-equivalence pruning (same dataset, slower; the differential-oracle path)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "periodically write an atomic resumable campaign checkpoint to this path")
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
 	flag.BoolVar(&o.resume, "resume", false, "resume the campaign from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
@@ -111,6 +115,7 @@ func run(o options) error {
 		scale = scale.WithWorkers(o.workers)
 	}
 	scale.Legacy = o.legacy
+	scale.NoPrune = o.noPrune
 	scale.Checkpoint = o.checkpoint
 	scale.CheckpointEvery = o.ckptEvery
 	scale.Resume = o.resume

@@ -10,13 +10,17 @@
 //	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
 //	                [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                [-metrics snapshot.json] [-pprof addr] [-legacy-inject]
+//	                [-no-prune]
 //
 // The campaign is sharded over -workers parallel executors (default: all
 // CPUs); the output is bit-identical for every worker count and with or
 // without -metrics. Experiments run on the golden-trace replay path (one
-// CPU simulated per cycle); -legacy-inject selects the original dual-CPU
-// simulation, which produces a bit-identical dataset at roughly half the
-// throughput and exists as the differential-testing oracle. -metrics dumps the telemetry snapshot (per-kernel /
+// CPU simulated per cycle), and sites whose outcome the golden run's
+// liveness analysis proves are recorded without simulating at all;
+// -no-prune disables that static pruning and -legacy-inject selects the
+// original dual-CPU simulation — both produce bit-identical datasets at a
+// fraction of the throughput and exist as the differential-testing
+// oracles. -metrics dumps the telemetry snapshot (per-kernel /
 // per-kind outcome counters, detection-latency histograms, DSR
 // bit-population stats) as JSON after the run; -pprof serves
 // net/http/pprof and expvar live during it.
@@ -55,6 +59,7 @@ func main() {
 		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		legacy    = flag.Bool("legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
+		noPrune   = flag.Bool("no-prune", false, "disable static fault-equivalence pruning (same dataset, slower; the differential-oracle path)")
 		ckpt      = flag.String("checkpoint", "", "periodically write an atomic resumable checkpoint to this path")
 		ckEvery   = flag.Int("checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
 		resume    = flag.Bool("resume", false, "resume from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
@@ -69,6 +74,7 @@ func main() {
 		Seed:                  *seed,
 		Workers:               *workers,
 		Legacy:                *legacy,
+		NoPrune:               *noPrune,
 		CheckpointPath:        *ckpt,
 		CheckpointEvery:       *ckEvery,
 		Resume:                *resume,

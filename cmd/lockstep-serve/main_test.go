@@ -202,11 +202,18 @@ func TestServeEndToEnd(t *testing.T) {
 // to an uninterrupted direct run.
 func TestServeSigtermMidJobResumes(t *testing.T) {
 	dataDir := t.TempDir()
-	const stride = 6
+	// stride 2 keeps the unpruned campaign running for hundreds of
+	// milliseconds after the progress poll breaks, so the SIGTERM below
+	// reliably lands mid-job rather than racing campaign completion.
+	const stride = 2
 
+	// no_prune keeps every experiment on the simulated path: the job runs
+	// long enough for SIGTERM to land mid-campaign, and the byte-compare
+	// against the pruned directCSV oracle doubles as an end-to-end check
+	// of the pruning determinism contract over HTTP.
 	p, base := startServer(t, "-data", dataDir)
 	code, sub := httpJSON(t, "POST", base+"/v1/campaigns",
-		e2eJSON(stride, `,"checkpoint_every":8,"workers":2`))
+		e2eJSON(stride, `,"checkpoint_every":8,"workers":2,"no_prune":true`))
 	if code != http.StatusAccepted {
 		t.Fatalf("submit: %d %v", code, sub)
 	}

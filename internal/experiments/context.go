@@ -30,6 +30,7 @@ type Scale struct {
 	Seed           int64
 	Workers        int  // campaign worker pool; 0 = runtime.NumCPU()
 	Legacy         bool // dual-CPU oracle instead of golden-trace replay
+	NoPrune        bool // disable static fault-equivalence pruning (same dataset, slower)
 
 	// Checkpoint, when non-empty, makes the campaign periodically persist
 	// an atomic resumable checkpoint there (every CheckpointEvery
@@ -104,6 +105,7 @@ func (s Scale) Config() inject.Config {
 		Seed:                  s.Seed,
 		Workers:               s.Workers,
 		Legacy:                s.Legacy,
+		NoPrune:               s.NoPrune,
 		CheckpointPath:        s.Checkpoint,
 		CheckpointEvery:       s.CheckpointEvery,
 		Resume:                s.Resume,

@@ -80,6 +80,16 @@ type Fingerprint struct {
 	StopLatency           int      `json:"stop_latency"` // effective checker window
 	Seed                  int64    `json:"seed"`
 	Legacy                bool     `json:"legacy"`
+	// NoPrune is schedule-relevant even though datasets are byte-identical
+	// either way: a checkpoint taken with pruning enabled holds rows the
+	// static analysis proved, so resuming it under -no-prune (or vice
+	// versa) must be an explicit decision, not a silent mix of the oracle
+	// path and the pruned path within one dataset.
+	NoPrune bool `json:"no_prune"`
+	// TraceVersion pins the golden-trace layout + pruning-analysis
+	// generation (lockstep.TraceVersion) the campaign ran under. Old
+	// checkpoints decode it as 0 and refuse to resume on a newer build.
+	TraceVersion int `json:"trace_version"`
 }
 
 // fingerprint derives the schedule fingerprint of a normalized config.
@@ -102,6 +112,8 @@ func (c Config) fingerprint() Fingerprint {
 		StopLatency:           window,
 		Seed:                  c.Seed,
 		Legacy:                c.Legacy,
+		NoPrune:               c.NoPrune,
+		TraceVersion:          lockstep.TraceVersion,
 	}
 }
 

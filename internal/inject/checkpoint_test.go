@@ -78,16 +78,26 @@ func TestResumeConfigMismatch(t *testing.T) {
 	cases := []struct {
 		field  string
 		mutate func(*Config)
+		// mutateCk, for fingerprint fields that are not Config fields
+		// (e.g. the build's trace version), rewrites the checkpoint side
+		// of the comparison instead; the case then resumes from the
+		// rewritten copy with an unmutated config.
+		mutateCk func(*Fingerprint)
 	}{
-		{"Kernels", func(c *Config) { c.Kernels = []string{"rspeed"} }},
-		{"RunCycles", func(c *Config) { c.RunCycles = 4100 }},
-		{"Intervals", func(c *Config) { c.Intervals = 32 }},
-		{"InjectionsPerFlopKind", func(c *Config) { c.InjectionsPerFlopKind = 2 }},
-		{"FlopStride", func(c *Config) { c.FlopStride = 12 }},
-		{"Kinds", func(c *Config) { c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip} }},
-		{"StopLatency", func(c *Config) { c.StopLatency = 3 }},
-		{"Seed", func(c *Config) { c.Seed = 6 }},
-		{"Legacy", func(c *Config) { c.Legacy = true }},
+		{field: "Kernels", mutate: func(c *Config) { c.Kernels = []string{"rspeed"} }},
+		{field: "RunCycles", mutate: func(c *Config) { c.RunCycles = 4100 }},
+		{field: "Intervals", mutate: func(c *Config) { c.Intervals = 32 }},
+		{field: "InjectionsPerFlopKind", mutate: func(c *Config) { c.InjectionsPerFlopKind = 2 }},
+		{field: "FlopStride", mutate: func(c *Config) { c.FlopStride = 12 }},
+		{field: "Kinds", mutate: func(c *Config) { c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip} }},
+		{field: "StopLatency", mutate: func(c *Config) { c.StopLatency = 3 }},
+		{field: "Seed", mutate: func(c *Config) { c.Seed = 6 }},
+		{field: "Legacy", mutate: func(c *Config) { c.Legacy = true }},
+		{field: "NoPrune", mutate: func(c *Config) { c.NoPrune = true }},
+		// A checkpoint from an older trace/pruning generation (or one with
+		// no trace_version at all, which decodes as 0) must refuse on this
+		// build rather than mix analyses within one dataset.
+		{field: "TraceVersion", mutateCk: func(fp *Fingerprint) { fp.TraceVersion = lockstep.TraceVersion - 1 }},
 	}
 	// The table must cover the whole fingerprint, so a future field cannot
 	// ship without a refusal test.
@@ -99,7 +109,21 @@ func TestResumeConfigMismatch(t *testing.T) {
 			cfg := ckConfig()
 			cfg.CheckpointPath = path
 			cfg.Resume = true
-			tc.mutate(&cfg)
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			if tc.mutateCk != nil {
+				ck, err := ReadCheckpoint(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tc.mutateCk(&ck.FP)
+				rewritten := filepath.Join(t.TempDir(), "ck.lsc")
+				if err := WriteCheckpoint(rewritten, ck); err != nil {
+					t.Fatal(err)
+				}
+				cfg.CheckpointPath = rewritten
+			}
 			_, err := Run(cfg)
 			var mismatch *ConfigMismatchError
 			if !errors.As(err, &mismatch) {
@@ -257,6 +281,10 @@ func telemetryGaugeMap(t *testing.T) map[string]int64 {
 func TestCheckpointProgressTelemetry(t *testing.T) {
 	dir := t.TempDir()
 	cfg := ckConfig()
+	// Checkpoint cadence needs a steady flow of worker completions; the
+	// statically-pruned majority completes in one synchronous burst whose
+	// kicks coalesce into a single write, so measure on the oracle path.
+	cfg.NoPrune = true
 	cfg.CheckpointPath = filepath.Join(dir, "ck.lsc")
 	cfg.CheckpointEvery = 25
 	ds, st, err := RunStats(cfg)

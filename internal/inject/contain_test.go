@@ -21,17 +21,27 @@ func failureCount() int64 {
 	return n
 }
 
+// containConfig is ckConfig on the -no-prune oracle path: the containment
+// tests poison specific plan indices through testHook, which only fires
+// for experiments that are actually dispatched to a worker — static
+// pruning would dissolve the target site and leave the test vacuous.
+func containConfig() Config {
+	cfg := ckConfig()
+	cfg.NoPrune = true
+	return cfg
+}
+
 // TestPanicContainment: a deliberately poisoned experiment must not kill
 // the campaign — it is retried, then recorded as a Failed row, while
 // every other experiment's record stays exactly as in a clean run. Run at
 // several worker counts so -race also sees the containment path.
 func TestPanicContainment(t *testing.T) {
-	clean, err := Run(ckConfig())
+	clean, err := Run(containConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	poisonIdx := clean.Len() / 2
-	plan, err := ckConfig().Plan()
+	plan, err := containConfig().Plan()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +49,7 @@ func TestPanicContainment(t *testing.T) {
 
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		before := failureCount()
-		cfg := ckConfig()
+		cfg := containConfig()
 		cfg.Workers = workers
 		cfg.testHook = func(e Experiment) {
 			if e == poison {
@@ -78,11 +88,11 @@ func TestPanicContainment(t *testing.T) {
 // retried on fresh scratch and produce the normal record, with no Failed
 // row and no failure count.
 func TestPanicRetryRecovers(t *testing.T) {
-	clean, err := Run(ckConfig())
+	clean, err := Run(containConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := ckConfig().Plan()
+	plan, err := containConfig().Plan()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +100,7 @@ func TestPanicRetryRecovers(t *testing.T) {
 
 	var mu sync.Mutex
 	tripped := false
-	cfg := ckConfig()
+	cfg := containConfig()
 	cfg.testHook = func(e Experiment) {
 		if e != flaky {
 			return
@@ -122,14 +132,14 @@ func TestPanicRetryRecovers(t *testing.T) {
 // TestRetriesDisabled: Retries < 0 records the first panic as Failed
 // without a second attempt.
 func TestRetriesDisabled(t *testing.T) {
-	plan, err := ckConfig().Plan()
+	plan, err := containConfig().Plan()
 	if err != nil {
 		t.Fatal(err)
 	}
 	victim := plan[0]
 	var mu sync.Mutex
 	attempts := 0
-	cfg := ckConfig()
+	cfg := containConfig()
 	cfg.Retries = -1
 	cfg.testHook = func(e Experiment) {
 		if e != victim {
@@ -155,7 +165,7 @@ func TestRetriesDisabled(t *testing.T) {
 // TestWatchdogBudget: an experiment that stalls past the per-experiment
 // budget is abandoned and recorded as Failed; the campaign finishes.
 func TestWatchdogBudget(t *testing.T) {
-	cfg := ckConfig()
+	cfg := containConfig()
 	cfg.FlopStride = 256 // a handful of experiments — the stall dominates
 	plan, err := cfg.Plan()
 	if err != nil {

@@ -97,6 +97,19 @@ type Config struct {
 	// as the differential-testing oracle (outcomes are bit-identical to
 	// the replay path, which the test suite asserts).
 	Legacy bool
+	// NoPrune disables static fault-equivalence pruning, simulating every
+	// experiment even when the golden run's liveness analysis proves its
+	// outcome. The dataset is byte-identical either way — NoPrune is the
+	// differential-oracle escape hatch (and the slow path), not a
+	// different campaign. It participates in the resume fingerprint so a
+	// checkpoint is never silently continued under the other setting.
+	//
+	// With pruning on, a deterministic seeded sample of the pruned sites
+	// (~1/64, at least one whenever anything was pruned) is still
+	// simulated and compared against the static prediction; a mismatch
+	// aborts the campaign with an error naming the (flop, cycle), so an
+	// unsound analysis can never quietly ship a dataset.
+	NoPrune bool
 	// Progress, if non-nil, receives (done, total) experiment counts for
 	// the experiments this run executes (a resumed campaign reports the
 	// remaining work, not the restored records). Calls are serialized and
@@ -232,22 +245,33 @@ func (c Config) Total() (int, error) {
 
 // Stats reports how a campaign ran.
 type Stats struct {
-	Experiments int           // experiments in the dataset (restored + executed)
-	Restored    int           // experiments restored from a resume checkpoint
-	Failures    int           // experiments recorded as Failed by the containment layer
-	Checkpoints int           // checkpoint files written
-	Workers     int           // worker pool size used
-	Elapsed     time.Duration // wall clock, golden runs included
-	PerSec      float64       // executed experiments per wall-clock second
+	Experiments int // experiments in the dataset (restored + executed)
+	Restored    int // experiments restored from a resume checkpoint
+	// Pruned counts experiments whose outcome the static liveness
+	// analysis proved, recorded without simulation (a subset of
+	// Executed: pruning is why exp/s rises).
+	Pruned int
+	// OracleChecked counts pruned sites the runtime differential oracle
+	// re-simulated anyway to confirm the static prediction.
+	OracleChecked int
+	Failures      int           // experiments recorded as Failed by the containment layer
+	Checkpoints   int           // checkpoint files written
+	Workers       int           // worker pool size used
+	Elapsed       time.Duration // wall clock, golden runs included
+	PerSec        float64       // executed experiments per wall-clock second
 }
 
-// Executed is the number of experiments this run actually simulated.
+// Executed is the number of experiments this run resolved itself, whether
+// by simulation or by static pruning.
 func (s Stats) Executed() int { return s.Experiments - s.Restored }
 
 // String renders the stats one-line, for CLI summaries.
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d experiments in %v with %d worker(s) (%.0f exp/s)",
 		s.Experiments, s.Elapsed.Round(time.Millisecond), s.Workers, s.PerSec)
+	if s.Pruned > 0 {
+		out += fmt.Sprintf(", %d pruned (%d oracle-checked)", s.Pruned, s.OracleChecked)
+	}
 	if s.Restored > 0 {
 		out += fmt.Sprintf(", %d restored from checkpoint", s.Restored)
 	}
@@ -335,13 +359,6 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 	if window <= 0 {
 		window = lockstep.StopLatency
 	}
-	workers := cfg.Workers
-	if workers > len(pending) {
-		workers = len(pending)
-	}
-	if workers < 1 {
-		workers = 1
-	}
 
 	tel := newCampaignTelemetry(cfg)
 
@@ -350,6 +367,9 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		ckp = startCheckpointer(cfg, records, done)
 	}
 
+	// total is fixed before the prune pass: pruned experiments count as
+	// completed work, so Progress still reports a strictly increasing
+	// 1..total over everything this run resolves.
 	total := len(pending)
 	var (
 		prog     int
@@ -364,6 +384,66 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 			progMu.Unlock()
 		}
 	)
+
+	// Static fault-equivalence pruning: record every pending experiment
+	// whose outcome the golden run's liveness analysis proves, without
+	// dispatching it. A deterministic seeded sample of the prunable sites
+	// stays in the work list as the runtime differential oracle: workers
+	// simulate those normally and the campaign hard-fails on any
+	// prediction mismatch (see oracleExpect below). The pass is serial
+	// and derived only from plan + goldens, so datasets stay byte-
+	// identical across worker counts, resumes, and pruning on/off.
+	var oracleExpect map[int]lockstep.Outcome
+	var prunedN, oracleN int64
+	if !cfg.NoPrune {
+		oracleExpect = make(map[int]lockstep.Outcome)
+		remaining := pending[:0]
+		for _, idx := range pending {
+			e := plan[idx]
+			out, ok := goldens[e.Kernel].Prune(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle})
+			if !ok {
+				remaining = append(remaining, idx)
+				continue
+			}
+			if oracleSampled(cfg.Seed, e) {
+				oracleExpect[idx] = out
+				oracleN++
+				remaining = append(remaining, idx)
+				continue
+			}
+			records[idx] = recordFor(e, out)
+			tel.record(e, out)
+			prunedN++
+			if done != nil {
+				done[idx].Store(true)
+			}
+			if ckp != nil {
+				ckp.completed()
+			}
+			progress()
+		}
+		pending = remaining
+		if prunedN > 0 {
+			telemetry.Default.Counter("inject.pruned").Add(prunedN)
+		}
+		if oracleN > 0 {
+			telemetry.Default.Counter("inject.pruned_oracle_checked").Add(oracleN)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// abort stops dispatch when the runtime oracle catches a static
+	// prediction that the simulator contradicts; the first mismatch wins.
+	abort := make(chan struct{})
+	var oracleOnce sync.Once
+	var oracleErr error
 
 	next := make(chan int)
 	var failures, executed atomic.Int64
@@ -384,19 +464,15 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 				if out.Failed {
 					failures.Add(1)
 				}
-				records[idx] = dataset.Record{
-					Kernel:      e.Kernel,
-					Flop:        e.Flop,
-					Unit:        cpu.FlopUnit(e.Flop),
-					Fine:        cpu.FlopFine(e.Flop),
-					Kind:        e.Kind,
-					InjectCycle: e.Cycle,
-					Detected:    out.Detected,
-					DetectCycle: out.DetectCycle,
-					DSR:         out.DSR,
-					Converged:   out.Converged,
-					Failed:      out.Failed,
+				if expect, ok := oracleExpect[idx]; ok && !out.Failed && out != expect {
+					oracleOnce.Do(func() {
+						oracleErr = fmt.Errorf(
+							"inject: pruning oracle mismatch: %s %s at flop %d (%s) cycle %d predicted %+v, simulated %+v",
+							e.Kernel, e.Kind, e.Flop, cpu.FlopName(e.Flop), e.Cycle, expect, out)
+						close(abort)
+					})
 				}
+				records[idx] = recordFor(e, out)
 				tel.record(e, out)
 				executed.Add(1)
 				if done != nil {
@@ -420,19 +496,23 @@ feed:
 		case <-cfg.Cancel:
 			canceled = true
 			break feed
+		case <-abort:
+			break feed
 		}
 	}
 	close(next)
 	wg.Wait()
 
 	st := Stats{
-		Experiments: len(plan),
-		Restored:    restored,
-		Failures:    int(failures.Load()),
-		Workers:     workers,
+		Experiments:   len(plan),
+		Restored:      restored,
+		Pruned:        int(prunedN),
+		OracleChecked: int(oracleN),
+		Failures:      int(failures.Load()),
+		Workers:       workers,
 	}
 	if canceled {
-		st.Experiments = restored + int(executed.Load())
+		st.Experiments = restored + int(prunedN) + int(executed.Load())
 	}
 	if ckp != nil {
 		n, err := ckp.stop()
@@ -446,10 +526,46 @@ feed:
 		st.PerSec = float64(st.Executed()) / secs
 	}
 	tel.finish(st)
+	if oracleErr != nil {
+		return nil, st, oracleErr
+	}
 	if canceled {
 		return nil, st, ErrCanceled
 	}
 	return &dataset.Dataset{Records: records}, st, nil
+}
+
+// recordFor renders one experiment's outcome as its dataset row; the
+// statically-pruned path and the simulating workers must produce rows
+// through the same function so pruning can never skew the dataset format.
+func recordFor(e Experiment, out lockstep.Outcome) dataset.Record {
+	return dataset.Record{
+		Kernel:      e.Kernel,
+		Flop:        e.Flop,
+		Unit:        cpu.FlopUnit(e.Flop),
+		Fine:        cpu.FlopFine(e.Flop),
+		Kind:        e.Kind,
+		InjectCycle: e.Cycle,
+		Detected:    out.Detected,
+		DetectCycle: out.DetectCycle,
+		DSR:         out.DSR,
+		Converged:   out.Converged,
+		Failed:      out.Failed,
+	}
+}
+
+// oracleSampled deterministically selects ~1/64 of prunable sites for the
+// runtime differential oracle. The decision hashes only the campaign seed
+// and the experiment coordinates — never worker count or iteration order —
+// so the same sites are re-simulated on every run and resume of a
+// campaign, keeping datasets byte-identical.
+func oracleSampled(seed int64, e Experiment) bool {
+	h := uint64(mix(seed, e.Kernel, e.Flop, int(e.Kind)))
+	h ^= uint64(e.Cycle) * 0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h&63 == 0
 }
 
 // worker runs experiments under the campaign's fault-containment policy:

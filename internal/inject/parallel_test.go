@@ -77,6 +77,60 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestPrunedMatchesUnpruned is the pruning determinism contract: a
+// campaign with static fault-equivalence pruning enabled (the default)
+// produces a dataset byte-identical to the -no-prune differential-oracle
+// path, across different worker counts, while actually pruning (and
+// oracle-sampling) a meaningful share of the plan. This is the campaign-
+// level complement of lockstep's TestPruneSoundness: that test proves
+// per-site predictions against the Replayer; this one proves the whole
+// dataset pipeline — record rendering, telemetry ordering, progress and
+// checkpoint bits included — is unchanged by the fast path.
+func TestPrunedMatchesUnpruned(t *testing.T) {
+	pruned := invarianceConfig()
+	pruned.Kernels = []string{"ttsprk", "rspeed"}
+	pruned.FlopStride = 36
+	pruned.Workers = 4
+	dsP, stP, err := RunStats(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stP.Pruned == 0 {
+		t.Fatal("campaign with pruning enabled pruned nothing")
+	}
+	if stP.OracleChecked == 0 {
+		t.Fatal("runtime differential oracle sampled no pruned sites")
+	}
+
+	unpruned := pruned
+	unpruned.NoPrune = true
+	unpruned.Workers = 2
+	dsU, stU, err := RunStats(unpruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stU.Pruned != 0 || stU.OracleChecked != 0 {
+		t.Fatalf("-no-prune run reports pruning stats: %+v", stU)
+	}
+
+	var bufP, bufU bytes.Buffer
+	if err := dsP.WriteCSV(&bufP); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsU.WriteCSV(&bufU); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufP.Bytes(), bufU.Bytes()) {
+		for i := range dsP.Records {
+			if dsP.Records[i] != dsU.Records[i] {
+				t.Fatalf("record %d differs:\npruned:   %+v\nunpruned: %+v",
+					i, dsP.Records[i], dsU.Records[i])
+			}
+		}
+		t.Fatal("CSV serializations differ between pruned and unpruned runs")
+	}
+}
+
 // TestRunStatsReporting: throughput accounting is populated and consistent
 // with the executed campaign.
 func TestRunStatsReporting(t *testing.T) {

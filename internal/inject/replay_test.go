@@ -50,9 +50,10 @@ func TestLegacyOracleDatasetIdentical(t *testing.T) {
 	}
 }
 
-// replayTelemetry reads the trace footprint gauge and restore counter
-// from the default registry.
-func replayTelemetry() (traceBytes, restores int64, haveGauge bool) {
+// replayTelemetry reads the trace footprint gauge and the replay/pruning
+// counters from the default registry (counters are process-global and
+// monotone, so tests measure deltas).
+func replayTelemetry() (traceBytes, restores, pruned, oracle int64, haveGauge bool) {
 	snap := telemetry.Default.Snapshot()
 	for _, g := range snap.Gauges {
 		if g.Name == "inject.golden_trace_bytes" {
@@ -60,31 +61,48 @@ func replayTelemetry() (traceBytes, restores int64, haveGauge bool) {
 		}
 	}
 	for _, c := range snap.Counters {
-		if c.Name == "inject.replay_restores" {
+		switch c.Name {
+		case "inject.replay_restores":
 			restores = c.Value
+		case "inject.pruned":
+			pruned = c.Value
+		case "inject.pruned_oracle_checked":
+			oracle = c.Value
 		}
 	}
-	return traceBytes, restores, haveGauge
+	return traceBytes, restores, pruned, oracle, haveGauge
 }
 
 // TestReplayTelemetry: a replay campaign publishes the golden-trace
-// memory footprint gauge and bumps the restore counter at least once per
-// experiment (each experiment repositions its worker's replay image).
+// memory footprint gauge, bumps the restore counter at least once per
+// simulated experiment (each repositions its worker's replay image), and
+// accounts every statically-pruned site and oracle re-simulation in the
+// inject.pruned / inject.pruned_oracle_checked counters.
 func TestReplayTelemetry(t *testing.T) {
-	_, restoresBefore, _ := replayTelemetry()
+	_, restoresBefore, prunedBefore, oracleBefore, _ := replayTelemetry()
 	cfg := smallConfig()
-	ds, err := Run(cfg)
+	ds, st, err := RunStats(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	traceBytes, restoresAfter, haveGauge := replayTelemetry()
+	traceBytes, restoresAfter, prunedAfter, oracleAfter, haveGauge := replayTelemetry()
 	if !haveGauge {
 		t.Fatal("inject.golden_trace_bytes gauge not published")
 	}
 	if traceBytes <= 0 {
 		t.Fatalf("inject.golden_trace_bytes = %d, want > 0", traceBytes)
 	}
-	if got := restoresAfter - restoresBefore; got < int64(ds.Len()) {
-		t.Fatalf("inject.replay_restores grew by %d over a %d-experiment campaign", got, ds.Len())
+	simulated := ds.Len() - st.Pruned
+	if got := restoresAfter - restoresBefore; got < int64(simulated) {
+		t.Fatalf("inject.replay_restores grew by %d over %d simulated experiments", got, simulated)
+	}
+	if st.Pruned <= 0 {
+		t.Fatalf("Stats.Pruned = %d, want > 0 on a default-config campaign", st.Pruned)
+	}
+	if got := prunedAfter - prunedBefore; got != int64(st.Pruned) {
+		t.Fatalf("inject.pruned grew by %d, Stats.Pruned = %d", got, st.Pruned)
+	}
+	if got := oracleAfter - oracleBefore; got != int64(st.OracleChecked) {
+		t.Fatalf("inject.pruned_oracle_checked grew by %d, Stats.OracleChecked = %d", got, st.OracleChecked)
 	}
 }

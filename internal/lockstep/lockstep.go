@@ -136,25 +136,49 @@ type Golden struct {
 
 	snaps []snapshot
 	trace goldenTrace
+	live  *liveness // static fault-equivalence pruning table (see liveness.go)
 }
+
+// TraceVersion identifies the golden-trace layout and the static-pruning
+// semantics built on top of it. It participates in the campaign
+// checkpoint fingerprint (inject.Fingerprint): a checkpoint recorded
+// under a different trace/pruning generation refuses to resume rather
+// than silently mixing outcomes produced by different analyses.
+//
+// Version history: 1 = flat per-cycle OutVec + uint64 fingerprint arrays;
+// 2 = interned OutVec table + uint32 fingerprints + liveness pruning.
+const TraceVersion = 2
 
 // goldenTrace is the per-cycle record of the fault-free execution that
 // lets the injection hot path simulate only the faulty CPU: the main
 // (golden) CPU's behaviour is identical across all experiments on a
 // kernel, so it is computed exactly once, at NewGolden time.
 //
-// Indexing: out[c] and fp[c] describe the golden CPU state at the end of
-// cycle c (index 0 is reset state), so they have TotalCycles+1 entries.
+// Indexing: outAt(c) and fp[c] describe the golden CPU state at the end
+// of cycle c (index 0 is reset state), so outID and fp have
+// TotalCycles+1 entries.
+//
+// The layout is compacted relative to trace version 1 (see TraceVersion):
+// kernels are loops, so the per-cycle output vectors are highly periodic
+// — the 248-byte OutVecs are interned into outTab and the per-cycle
+// stream keeps only a 4-byte id, and the convergence-filter fingerprints
+// are truncated to 32 bits (the filter is followed by an exact state
+// confirm, so a narrower hash can cost a spurious confirm, never a wrong
+// outcome). Together these cut golden-trace memory by >3x on the stock
+// kernels with zero change to replay semantics.
 type goldenTrace struct {
-	// out is the registered output port the checker would compare each
-	// cycle; replayed injections diff the faulty CPU's outputs against it
-	// instead of re-simulating the main CPU.
-	out []cpu.OutVec
-	// fp is the per-cycle state fingerprint (cpu.Fingerprint) used as the
-	// soft-fault convergence filter; the full cpu.State is kept only at
-	// snapshots, and candidate convergences are confirmed exactly against
-	// a reconstructed golden state.
-	fp []uint64
+	// outID[c] indexes outTab: the registered output port the checker
+	// would compare at cycle c. Replayed injections diff the faulty CPU's
+	// outputs against outAt(c) instead of re-simulating the main CPU.
+	outID []uint32
+	// outTab is the deduplicated output-vector table, in order of first
+	// appearance (so the encoding and the rebuild are both deterministic).
+	outTab []cpu.OutVec
+	// fp is the per-cycle truncated state fingerprint (low 32 bits of
+	// cpu.Fingerprint) used as the soft-fault convergence filter; the full
+	// cpu.State is kept only at snapshots, and candidate convergences are
+	// confirmed exactly against a reconstructed golden state.
+	fp []uint32
 	// writes is the golden RAM write log a mem.ReplayBus uses to drive
 	// the memory image forward without a live main CPU.
 	writes []mem.WriteEvent
@@ -164,12 +188,20 @@ type goldenTrace struct {
 	reads []mem.ReadEvent
 }
 
+// outAt returns the golden output vector at the end of cycle c. The
+// pointer aliases the shared interned table and must not be written
+// through — every consumer only compares against it.
+func (t *goldenTrace) outAt(c int) *cpu.OutVec {
+	return &t.outTab[t.outID[c]]
+}
+
 // TraceBytes reports the approximate heap footprint of the golden trace,
 // published by the campaign driver as the inject.golden_trace_bytes
 // gauge.
 func (g *Golden) TraceBytes() int64 {
-	return int64(len(g.trace.out))*int64(cpu.NumSC*4) +
-		int64(len(g.trace.fp))*8 +
+	return int64(len(g.trace.outID))*4 +
+		int64(len(g.trace.outTab))*int64(cpu.NumSC*4) +
+		int64(len(g.trace.fp))*4 +
 		int64(len(g.trace.writes))*mem.WriteEventBytes +
 		int64(len(g.trace.reads))*mem.ReadEventBytes
 }
@@ -195,27 +227,43 @@ func NewGolden(k *workload.Kernel, totalCycles, snapEvery int) (*Golden, error) 
 		return nil, err
 	}
 	g := &Golden{Kernel: k, Entry: entry, TotalCycles: totalCycles}
-	g.trace.out = make([]cpu.OutVec, totalCycles+1)
-	g.trace.fp = make([]uint64, totalCycles+1)
+	g.trace.outID = make([]uint32, totalCycles+1)
+	g.trace.fp = make([]uint32, totalCycles+1)
+	// intern deduplicates output vectors into outTab; the map is build
+	// scratch, dropped when NewGolden returns.
+	intern := make(map[cpu.OutVec]uint32)
+	record := func(c *cpu.CPU, cyc int) {
+		ov := c.State.Outputs()
+		id, ok := intern[ov]
+		if !ok {
+			id = uint32(len(g.trace.outTab))
+			g.trace.outTab = append(g.trace.outTab, ov)
+			intern[ov] = id
+		}
+		g.trace.outID[cyc] = id
+		g.trace.fp[cyc] = uint32(cpu.Fingerprint(&c.State))
+	}
 	rec := &mem.Recorder{Sys: sys}
 	c := cpu.New(rec, entry)
+	lb := newLivenessBuilder(totalCycles)
 	g.snap(c, sys, 0)
-	g.trace.out[0] = c.State.Outputs()
-	g.trace.fp[0] = cpu.Fingerprint(&c.State)
+	record(c, 0)
+	lb.record(&c.State, 0)
 	for cyc := 1; cyc <= totalCycles; cyc++ {
 		rec.Cycle = int32(cyc)
 		c.StepCycle()
 		if c.State.Trapped() {
 			return nil, fmt.Errorf("lockstep: golden %s trapped at cycle %d", k.Name, cyc)
 		}
-		g.trace.out[cyc] = c.State.Outputs()
-		g.trace.fp[cyc] = cpu.Fingerprint(&c.State)
+		record(c, cyc)
+		lb.record(&c.State, cyc)
 		if cyc%snapEvery == 0 {
 			g.snap(c, sys, cyc)
 		}
 	}
 	g.trace.writes = rec.Writes
 	g.trace.reads = rec.Reads
+	g.live = lb.finish()
 	return g, nil
 }
 

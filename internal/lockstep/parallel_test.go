@@ -74,8 +74,11 @@ func TestGoldenClone(t *testing.T) {
 			t.Fatalf("snapshot %d RAM deep-copied: clones must share immutable snapshots", i)
 		}
 	}
-	if len(g.trace.out) > 0 && &c.trace.out[0] != &g.trace.out[0] {
+	if len(g.trace.outTab) > 0 && &c.trace.outTab[0] != &g.trace.outTab[0] {
 		t.Fatal("golden trace deep-copied: clones must share the immutable trace")
+	}
+	if c.live != g.live {
+		t.Fatal("liveness table deep-copied: clones must share the immutable pruning table")
 	}
 	// The snapshot slice itself is copied into a fresh backing array, so
 	// a mutation of a clone's headers can never leak into the original.

@@ -68,7 +68,7 @@ func NewReplayer() *Replayer { return &Replayer{} }
 //     External-region reads are the pure mem.SensorValue pattern in both.
 //   - Checker compare: the legacy path diffs main vs redundant outputs at
 //     the top of every cycle; the golden trace holds the main CPU's
-//     output vector for every cycle, so the diff runs against trace.out.
+//     output vector for every cycle, so the diff runs against outAt(cyc).
 //   - Post-fault stepping: in the legacy path the redundant CPU is a bus
 //     monitor — its reads see the main CPU's memory image after the full
 //     cycle, which is precisely the AdvanceTo(cyc+1)-then-step image, and
@@ -161,8 +161,8 @@ func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
 		// Diverge sets bit i exactly when element i differs, so the DSR is
 		// nonzero precisely when the vectors are unequal, and the
 		// fault-free common case skips the 62-category loop entirely.
-		if or != g.trace.out[cyc] {
-			dsr := cpu.Diverge(&g.trace.out[cyc], &or)
+		if or != *g.trace.outAt(cyc) {
+			dsr := cpu.Diverge(g.trace.outAt(cyc), &or)
 			// Error detected; the DSR keeps OR-accumulating per-SC
 			// divergences during the checker stop window.
 			detect := cyc
@@ -170,13 +170,13 @@ func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
 				stepFaulty(cyc)
 				cyc++
 				or = red.State.Outputs()
-				dsr |= cpu.Diverge(&g.trace.out[cyc], &or)
+				dsr |= cpu.Diverge(g.trace.outAt(cyc), &or)
 			}
 			recordDSR("inject", dsr)
 			return Outcome{Detected: true, DetectCycle: detect, DSR: dsr}
 		}
 		if inj.Kind == SoftFlip && !softArmed && softCheckDue(cyc, inj.Cycle, g.TotalCycles) &&
-			cpu.Fingerprint(&red.State) == g.trace.fp[cyc] &&
+			uint32(cpu.Fingerprint(&red.State)) == g.trace.fp[cyc] &&
 			red.State == r.goldenStateAt(g, cyc) {
 			return Outcome{Converged: true}
 		}

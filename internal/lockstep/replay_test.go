@@ -175,10 +175,10 @@ func TestGoldenTraceSelfCheck(t *testing.T) {
 			check.cycle = cyc + 1
 			c.StepCycle()
 			out := c.State.Outputs()
-			if d := cpu.Diverge(&g.trace.out[cyc+1], &out); d != 0 {
+			if d := cpu.Diverge(g.trace.outAt(cyc+1), &out); d != 0 {
 				t.Fatalf("%s: replayed outputs diverge from trace at cycle %d (dsr %#x)", kn, cyc+1, d)
 			}
-			if fp := cpu.Fingerprint(&c.State); fp != g.trace.fp[cyc+1] {
+			if fp := uint32(cpu.Fingerprint(&c.State)); fp != g.trace.fp[cyc+1] {
 				t.Fatalf("%s: replayed fingerprint differs from trace at cycle %d", kn, cyc+1)
 			}
 		}

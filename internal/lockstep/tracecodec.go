@@ -1,0 +1,310 @@
+package lockstep
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+// Serialized golden-trace codec. The in-memory trace (goldenTrace) is
+// already compacted — interned OutVec table, 4-byte ids and fingerprints
+// — and the codec flattens that layout further for storage or shipping to
+// campaign worker nodes:
+//
+//	magic "lktr" | uvarint TraceVersion
+//	uvarint cycles(=len(outID)) | RLE pairs (uvarint id, uvarint runLen)
+//	uvarint len(outTab) | NumSC uvarints per vector
+//	uvarint len(fp) | 4-byte LE XOR-delta vs the previous fingerprint
+//	uvarint len(writes) | per event: zigzag cycle delta, zigzag addr
+//	                      delta, uvarint data, uvarint mask
+//	uvarint len(reads)  | per event: zigzag cycle delta, zigzag addr
+//	                      delta, uvarint data
+//
+// The id stream is run-length encoded because kernels are loops: long
+// spans of cycles repeat the same interned output vector. Event cycles
+// and addresses are delta-encoded because both streams are generated in
+// ascending cycle order with strong address locality; zigzag keeps the
+// codec total (any event order round-trips) rather than only valid for
+// sorted streams. decodeTrace is fuzz-hardened: every count is validated
+// against what the remaining input could possibly hold before anything is
+// allocated, so arbitrary bytes produce an error, never a panic or an
+// attacker-sized allocation.
+const traceMagic = "lktr"
+
+// maxTraceCycles caps the decoded trace length. Real campaign traces are
+// tens of thousands of cycles; the cap only bounds what a corrupt or
+// hostile header can make the decoder allocate.
+const maxTraceCycles = 1 << 22
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// encodeTrace serializes t. The result always decodes back to an equal
+// goldenTrace via decodeTrace.
+func encodeTrace(t *goldenTrace) []byte {
+	b := append([]byte(nil), traceMagic...)
+	b = appendUvarint(b, TraceVersion)
+
+	b = appendUvarint(b, uint64(len(t.outID)))
+	for i := 0; i < len(t.outID); {
+		j := i + 1
+		for j < len(t.outID) && t.outID[j] == t.outID[i] {
+			j++
+		}
+		b = appendUvarint(b, uint64(t.outID[i]))
+		b = appendUvarint(b, uint64(j-i))
+		i = j
+	}
+
+	b = appendUvarint(b, uint64(len(t.outTab)))
+	for i := range t.outTab {
+		for _, w := range t.outTab[i] {
+			b = appendUvarint(b, uint64(w))
+		}
+	}
+
+	b = appendUvarint(b, uint64(len(t.fp)))
+	prev := uint32(0)
+	for _, f := range t.fp {
+		b = binary.LittleEndian.AppendUint32(b, f^prev)
+		prev = f
+	}
+
+	b = appendUvarint(b, uint64(len(t.writes)))
+	var pc, pa int64
+	for _, w := range t.writes {
+		b = appendZigzag(b, int64(w.Cycle)-pc)
+		b = appendZigzag(b, int64(w.Addr)-pa)
+		b = appendUvarint(b, uint64(w.Data))
+		b = appendUvarint(b, uint64(w.Mask))
+		pc, pa = int64(w.Cycle), int64(w.Addr)
+	}
+
+	b = appendUvarint(b, uint64(len(t.reads)))
+	pc, pa = 0, 0
+	for _, r := range t.reads {
+		b = appendZigzag(b, int64(r.Cycle)-pc)
+		b = appendZigzag(b, int64(r.Addr)-pa)
+		b = appendUvarint(b, uint64(r.Data))
+		pc, pa = int64(r.Cycle), int64(r.Addr)
+	}
+	return b
+}
+
+// traceReader is a bounds-checked cursor over an encoded trace.
+type traceReader struct {
+	b   []byte
+	err error
+}
+
+func (r *traceReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("lockstep: bad trace: "+format, args...)
+	}
+}
+
+func (r *traceReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("truncated or oversized uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *traceReader) zigzag() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("truncated or oversized varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *traceReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 4 {
+		r.fail("truncated fingerprint")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+// count reads an element count and rejects it unless the remaining input
+// could hold that many elements of at least minBytes each (minBytes = 0
+// for RLE-compressed streams, which are capped separately).
+func (r *traceReader) count(what string, max int, minBytes int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		r.fail("%s count %d exceeds cap %d", what, v, max)
+		return 0
+	}
+	if minBytes > 0 && v > uint64(len(r.b)/minBytes) {
+		r.fail("%s count %d exceeds remaining input", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+func u32InRange(r *traceReader, what string, v int64) uint32 {
+	if v < 0 || v > int64(^uint32(0)) {
+		r.fail("%s %d out of uint32 range", what, v)
+		return 0
+	}
+	return uint32(v)
+}
+
+// decodeTrace parses an encodeTrace result. It returns an error (never
+// panics, never allocates beyond what the input length justifies) on
+// arbitrary input; FuzzTraceDecode holds it to that.
+func decodeTrace(b []byte) (*goldenTrace, error) {
+	r := &traceReader{b: b}
+	if len(b) < len(traceMagic) || string(b[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("lockstep: bad trace: missing %q magic", traceMagic)
+	}
+	r.b = b[len(traceMagic):]
+	if v := r.uvarint(); r.err == nil && v != TraceVersion {
+		r.fail("version %d, want %d", v, TraceVersion)
+	}
+
+	t := &goldenTrace{}
+	cycles := r.count("cycle", maxTraceCycles, 0)
+	if r.err == nil {
+		t.outID = make([]uint32, 0, cycles)
+	}
+	for len(t.outID) < cycles && r.err == nil {
+		id := r.uvarint()
+		run := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if id > uint64(^uint32(0)) {
+			r.fail("outvec id %d out of range", id)
+			break
+		}
+		if run == 0 || run > uint64(cycles-len(t.outID)) {
+			r.fail("outvec run %d outside remaining %d cycles", run, cycles-len(t.outID))
+			break
+		}
+		for i := uint64(0); i < run; i++ {
+			t.outID = append(t.outID, uint32(id))
+		}
+	}
+
+	nTab := r.count("outvec table", maxTraceCycles, cpu.NumSC)
+	if r.err == nil {
+		t.outTab = make([]cpu.OutVec, nTab)
+	}
+	for i := 0; i < nTab && r.err == nil; i++ {
+		for j := 0; j < cpu.NumSC; j++ {
+			w := r.uvarint()
+			if w > uint64(^uint32(0)) {
+				r.fail("outvec word out of range")
+				break
+			}
+			t.outTab[i][j] = uint32(w)
+		}
+	}
+	for _, id := range t.outID {
+		if int(id) >= nTab {
+			r.fail("outvec id %d outside table of %d", id, nTab)
+			break
+		}
+	}
+
+	nFP := r.count("fingerprint", maxTraceCycles, 4)
+	if r.err == nil {
+		t.fp = make([]uint32, nFP)
+	}
+	prev := uint32(0)
+	for i := 0; i < nFP && r.err == nil; i++ {
+		prev ^= r.u32()
+		t.fp[i] = prev
+	}
+
+	nW := r.count("write event", maxTraceCycles, 4)
+	if r.err == nil {
+		t.writes = make([]mem.WriteEvent, 0, nW)
+	}
+	var pc, pa int64
+	for i := 0; i < nW && r.err == nil; i++ {
+		pc += r.zigzag()
+		pa += r.zigzag()
+		data := r.uvarint()
+		mask := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if pc < 0 || pc > int64(^uint32(0)>>1) {
+			r.fail("write cycle %d out of range", pc)
+			break
+		}
+		if data > uint64(^uint32(0)) || mask > uint64(^uint32(0)) {
+			r.fail("write payload out of uint32 range")
+			break
+		}
+		t.writes = append(t.writes, mem.WriteEvent{
+			Cycle: int32(pc),
+			Addr:  u32InRange(r, "write addr", pa),
+			Data:  uint32(data),
+			Mask:  uint32(mask),
+		})
+	}
+
+	nR := r.count("read event", maxTraceCycles, 3)
+	if r.err == nil {
+		t.reads = make([]mem.ReadEvent, 0, nR)
+	}
+	pc, pa = 0, 0
+	for i := 0; i < nR && r.err == nil; i++ {
+		pc += r.zigzag()
+		pa += r.zigzag()
+		data := r.uvarint()
+		if r.err != nil {
+			break
+		}
+		if pc < 0 || pc > int64(^uint32(0)>>1) {
+			r.fail("read cycle %d out of range", pc)
+			break
+		}
+		if data > uint64(^uint32(0)) {
+			r.fail("read data out of uint32 range")
+			break
+		}
+		t.reads = append(t.reads, mem.ReadEvent{
+			Cycle: int32(pc),
+			Addr:  u32InRange(r, "read addr", pa),
+			Data:  uint32(data),
+		})
+	}
+
+	if r.err == nil && len(r.b) != 0 {
+		r.fail("%d trailing bytes", len(r.b))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}

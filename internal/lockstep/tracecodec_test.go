@@ -1,0 +1,206 @@
+package lockstep
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+	"lockstep/internal/workload"
+)
+
+// traceEq compares two traces element-wise (nil and empty slices are the
+// same trace; reflect.DeepEqual would distinguish them).
+func traceEq(a, b *goldenTrace) bool {
+	if len(a.outID) != len(b.outID) || len(a.outTab) != len(b.outTab) ||
+		len(a.fp) != len(b.fp) || len(a.writes) != len(b.writes) ||
+		len(a.reads) != len(b.reads) {
+		return false
+	}
+	for i := range a.outID {
+		if a.outID[i] != b.outID[i] {
+			return false
+		}
+	}
+	for i := range a.outTab {
+		if a.outTab[i] != b.outTab[i] {
+			return false
+		}
+	}
+	for i := range a.fp {
+		if a.fp[i] != b.fp[i] {
+			return false
+		}
+	}
+	for i := range a.writes {
+		if a.writes[i] != b.writes[i] {
+			return false
+		}
+	}
+	for i := range a.reads {
+		if a.reads[i] != b.reads[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomTrace generates a structurally valid trace with adversarial value
+// ranges: ids clustered into runs of random length, full-range output
+// words, fingerprints, masks, and event streams that are NOT sorted by
+// cycle or address (the zigzag deltas must round-trip any order).
+func randomTrace(rng *rand.Rand) *goldenTrace {
+	t := &goldenTrace{}
+	nTab := rng.Intn(8) + 1
+	t.outTab = make([]cpu.OutVec, nTab)
+	for i := range t.outTab {
+		for j := range t.outTab[i] {
+			t.outTab[i][j] = rng.Uint32()
+		}
+	}
+	cycles := rng.Intn(200)
+	for len(t.outID) < cycles {
+		id := uint32(rng.Intn(nTab))
+		run := rng.Intn(20) + 1
+		for i := 0; i < run && len(t.outID) < cycles; i++ {
+			t.outID = append(t.outID, id)
+		}
+	}
+	t.fp = make([]uint32, rng.Intn(200))
+	for i := range t.fp {
+		t.fp[i] = rng.Uint32()
+	}
+	for i, n := 0, rng.Intn(100); i < n; i++ {
+		t.writes = append(t.writes, mem.WriteEvent{
+			Cycle: rng.Int31(),
+			Addr:  rng.Uint32(),
+			Data:  rng.Uint32(),
+			Mask:  rng.Uint32(),
+		})
+	}
+	for i, n := 0, rng.Intn(100); i < n; i++ {
+		t.reads = append(t.reads, mem.ReadEvent{
+			Cycle: rng.Int31(),
+			Addr:  rng.Uint32(),
+			Data:  rng.Uint32(),
+		})
+	}
+	return t
+}
+
+// TestTraceCodecRoundTripRandom is the codec property test: any valid
+// trace — including empty sections and unsorted event streams — decodes
+// back equal to what was encoded.
+func TestTraceCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		tr := randomTrace(rng)
+		got, err := decodeTrace(encodeTrace(tr))
+		if err != nil {
+			t.Fatalf("trace %d: decode failed: %v", i, err)
+		}
+		if !traceEq(tr, got) {
+			t.Fatalf("trace %d: round trip differs", i)
+		}
+	}
+	if _, err := decodeTrace(encodeTrace(&goldenTrace{})); err != nil {
+		t.Fatalf("empty trace round trip: %v", err)
+	}
+}
+
+// TestTraceCodecRoundTripKernels round-trips real recorded golden traces
+// and checks the compaction claim the campaign relies on: the encoded
+// form must be smaller than the in-memory trace, which is itself far
+// smaller than the version-1 flat layout.
+func TestTraceCodecRoundTripKernels(t *testing.T) {
+	for _, kn := range []string{"puwmod", "ttsprk"} {
+		// Campaign-scale horizon: kernels loop, so the OutVec working set
+		// saturates while cycles keep growing — that periodicity is what
+		// the interning exploits.
+		g, err := NewGolden(workload.ByName(kn), 6000, 750)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := encodeTrace(&g.trace)
+		got, err := decodeTrace(enc)
+		if err != nil {
+			t.Fatalf("%s: decode failed: %v", kn, err)
+		}
+		if !traceEq(&g.trace, got) {
+			t.Fatalf("%s: round trip differs", kn)
+		}
+		flatV1 := int64(len(g.trace.outID))*int64(cpu.NumSC*4+8) +
+			int64(len(g.trace.writes))*mem.WriteEventBytes +
+			int64(len(g.trace.reads))*mem.ReadEventBytes
+		if got := g.TraceBytes(); got*3 > flatV1 {
+			t.Errorf("%s: compacted trace %d bytes, want >=3x below flat %d", kn, got, flatV1)
+		}
+		if int64(len(enc)) > g.TraceBytes() {
+			t.Errorf("%s: encoded trace %d bytes exceeds in-memory %d", kn, len(enc), g.TraceBytes())
+		}
+	}
+}
+
+// TestTraceDecodeRejects spot-checks the decoder's failure paths: bad
+// magic, bad version, truncation at every prefix length, oversized
+// counts, dangling outvec ids and trailing garbage must all error — and
+// (like the fuzz target) never panic.
+func TestTraceDecodeRejects(t *testing.T) {
+	tr := randomTrace(rand.New(rand.NewSource(7)))
+	enc := encodeTrace(tr)
+	if _, err := decodeTrace(nil); err == nil {
+		t.Error("decode of nil input succeeded")
+	}
+	if _, err := decodeTrace([]byte("nope")); err == nil {
+		t.Error("decode with bad magic succeeded")
+	}
+	bad := bytes.Clone(enc)
+	bad[len(traceMagic)] = TraceVersion + 1
+	if _, err := decodeTrace(bad); err == nil {
+		t.Error("decode with bad version succeeded")
+	}
+	for n := len(traceMagic); n < len(enc); n += 7 {
+		if _, err := decodeTrace(enc[:n]); err == nil {
+			t.Errorf("decode of %d-byte truncation succeeded", n)
+		}
+	}
+	if _, err := decodeTrace(append(bytes.Clone(enc), 0)); err == nil {
+		t.Error("decode with trailing garbage succeeded")
+	}
+	huge := append([]byte(traceMagic), byte(TraceVersion),
+		0xff, 0xff, 0xff, 0xff, 0x7f) // cycle count far over maxTraceCycles
+	if _, err := decodeTrace(huge); err == nil {
+		t.Error("decode with oversized cycle count succeeded")
+	}
+}
+
+// FuzzTraceDecode holds the decoder to its contract on arbitrary bytes:
+// no panics, no attacker-sized allocations, and anything it accepts must
+// re-encode and re-decode to the same trace (decode∘encode is the
+// identity on the codec's image).
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte(traceMagic))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 4; i++ {
+		f.Add(encodeTrace(randomTrace(rng)))
+	}
+	g, err := NewGolden(workload.ByName("puwmod"), 200, 50)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(encodeTrace(&g.trace))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := decodeTrace(data)
+		if err != nil {
+			return
+		}
+		got, err := decodeTrace(encodeTrace(tr))
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if !traceEq(tr, got) {
+			t.Fatal("re-decode of accepted input differs")
+		}
+	})
+}

@@ -42,6 +42,11 @@ type campaignRequest struct {
 	// CheckpointEvery overrides how many experiments elapse between
 	// checkpoint writes (0 = inject's 4096 default).
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// NoPrune disables static fault-equivalence pruning — the
+	// differential-oracle path. The dataset is byte-identical either way,
+	// but pruning is schedule-relevant for resumption (it is part of the
+	// checkpoint fingerprint), so it is part of the job identity too.
+	NoPrune bool `json:"no_prune,omitempty"`
 }
 
 // faultKinds maps the wire names onto lockstep fault kinds using the
@@ -111,6 +116,7 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 		StopLatency:           req.StopLatency,
 		Seed:                  req.Seed,
 		Workers:               req.Workers,
+		NoPrune:               req.NoPrune,
 	}
 	if maxWorkers > 0 && (cfg.Workers == 0 || cfg.Workers > maxWorkers) {
 		cfg.Workers = maxWorkers
