@@ -9,9 +9,9 @@
 # the serving-path SLO smoke.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo distributed-bench cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism prune-soundness telemetry alloc server serve-smoke serve-slo
+ci: vet build race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-slo
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,18 @@ determinism:
 resume-determinism:
 	$(GO) test -run 'TestResumeProducesIdenticalDataset|TestResumeConfigMismatch|TestResumeRefusesBadCheckpoint|TestPanicContainment' -count=1 ./internal/inject/
 	$(GO) test -run 'TestKillResumeEquivalence|TestCLIResumeRefusals' -count=1 ./cmd/lockstep-inject/
+
+# The distributed-campaign contracts, explicitly: a span-lease campaign
+# must merge to the byte-identical single-machine dataset at any worker
+# count and lease size (in-process coordinator, HTTP through
+# lockstep-serve, and the standalone Distributor), survive lease
+# expiry/re-issue and duplicate spans, resume a half-merged campaign
+# from its checkpoint, and — against the real binaries — stay
+# byte-identical after a worker is SIGKILLed mid-span.
+distributed-determinism:
+	$(GO) test -race -run 'TestDistributedMatchesRun|TestLeaseKernelAffinity|TestLeaseExpiryReissue|TestDrainWorkers|TestCommitRejections|TestCoordinatorResume|TestSpanRunnerMatchesRun|TestFingerprintConfigRoundTrip|TestWireRoundTrips|TestWireRejects' -count=1 ./internal/inject/
+	$(GO) test -race -run 'TestDistributedCampaignMatchesDirect|TestDistributorMatchesDirect|TestDistributedEndpointErrors|TestDistributedRestartResume|TestSubmitForeignCheckpointRejected' -count=1 ./internal/server/
+	$(GO) test -run 'TestDistributedKillWorkerEquivalence|TestDistributeJoinExclusive' -count=1 ./cmd/lockstep-inject/
 
 # The pruning soundness gate: every (kernel, fault kind) pair's pruned
 # sites are differentially re-simulated on the replay oracle at a >= 1%
@@ -72,15 +84,16 @@ serve-smoke:
 
 # Coverage report with per-package floors: internal/telemetry is the
 # observability backbone (>= 60%), internal/inject carries the campaign,
-# checkpoint and containment machinery (>= 75%), internal/server is the
-# HTTP boundary (>= 70%), internal/loadgen generates the benchmark load
-# whose determinism the trajectory relies on (>= 70%), internal/lockstep
-# carries the liveness pruning, trace compaction and replay machinery
-# (>= 75%).
+# checkpoint, containment and distributed-coordination machinery
+# (>= 80%), internal/server is the HTTP boundary plus the
+# distributed-campaign endpoints and worker client (>= 75%),
+# internal/loadgen generates the benchmark load whose determinism the
+# trajectory relies on (>= 70%), internal/lockstep carries the liveness
+# pruning, trace compaction and replay machinery (>= 75%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@for spec in internal/telemetry:60 internal/inject:75 internal/server:70 internal/loadgen:70 internal/lockstep:75; do \
+	@for spec in internal/telemetry:60 internal/inject:80 internal/server:75 internal/loadgen:70 internal/lockstep:75; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
@@ -129,13 +142,21 @@ serve-slo:
 	$(GO) run ./cmd/lockstep-bench -clients 8 -requests 200 -repeat 2 \
 		-slo-p99 5ms -slo-allocs 0
 
+# Distributed-campaign scaling benchmark: a coordinator plus 1/2/4
+# time-sliced in-process workers on the reference 3-kernel campaign;
+# appends measured and cluster-projected exp/s to BENCH_inject.json.
+distributed-bench:
+	LOCKSTEP_DIST_BENCH=1 $(GO) test -run TestDistributedScalingBench -count=1 -v -timeout 20m ./internal/server/
+
 # Short fuzz passes over the campaign-log parser, the checkpoint decoder,
-# the compacted golden-trace codec, and the two lockstep-serve request
-# decoders (predict bodies through the full endpoint, campaign
-# submissions through the validation layer).
+# the compacted golden-trace codec, the distributed-campaign wire codec
+# (all four lease/span messages through one harness), and the two
+# lockstep-serve request decoders (predict bodies through the full
+# endpoint, campaign submissions through the validation layer).
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/
+	$(GO) test -fuzz=FuzzLeaseDecode -fuzztime=30s ./internal/inject/
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=30s ./internal/lockstep/
 	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=30s ./internal/server/
 	$(GO) test -fuzz=FuzzCampaignRequest -fuzztime=30s ./internal/server/

@@ -32,16 +32,37 @@
 // dataset is byte-identical to an uninterrupted run at any worker count.
 // -resume refuses (exit 1) on a corrupt checkpoint or when any
 // schedule-relevant flag differs from the checkpointed campaign.
+//
+// Distributed campaigns shard the same plan across machines:
+//
+//	lockstep-inject -distribute 0.0.0.0:9090 [-lease-size N] [-lease-ttl D] ...
+//	lockstep-inject -join http://HOST:9090/v1/campaigns/DIGEST [-workers N]
+//
+// -distribute turns this process into the campaign coordinator: it
+// enumerates the plan, serves span leases over HTTP and merges completed
+// spans (it simulates nothing itself); -join turns it into a worker that
+// pulls leases, executes them on the pruned-replay path and streams
+// records back. The merged dataset is byte-identical to a single-machine
+// run at any worker count and any lease size; a worker killed mid-span
+// merely lets its lease expire and the span is re-issued. -checkpoint and
+// -resume work on the coordinator exactly as for a local campaign.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"lockstep/internal/inject"
+	"lockstep/internal/server"
 	"lockstep/internal/stats"
 	"lockstep/internal/telemetry"
 )
@@ -63,6 +84,12 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "periodically write an atomic resumable checkpoint to this path")
 		ckEvery   = flag.Int("checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
 		resume    = flag.Bool("resume", false, "resume from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
+
+		distribute = flag.String("distribute", "", "coordinate a distributed campaign: serve span leases on this address (e.g. 0.0.0.0:9090) and merge worker spans")
+		join       = flag.String("join", "", "join a distributed campaign as a worker: coordinator campaign URL (http://host:port/v1/campaigns/DIGEST)")
+		leaseSize  = flag.Int("lease-size", 0, "span lease length in plan indices (coordinator default / worker preference; 0 = 512)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "coordinator lease TTL before an uncommitted span is re-issued (0 = 30s)")
+		workerName = flag.String("worker-name", "", "stable worker identity for -join (default host-pid)")
 	)
 	flag.Parse()
 
@@ -93,10 +120,137 @@ func main() {
 		}
 	}
 
-	if err := run(cfg, *out, *metrics, *pprofAddr, *summary, os.Stderr); err != nil {
+	var err error
+	switch {
+	case *distribute != "" && *join != "":
+		err = fmt.Errorf("-distribute and -join are mutually exclusive (a process is either the coordinator or a worker)")
+	case *distribute != "":
+		err = runDistribute(cfg, *distribute, *leaseSize, *leaseTTL, *out, *metrics, *summary, os.Stderr)
+	case *join != "":
+		err = runJoin(*join, *workerName, *leaseSize, *workers, *metrics, *summary, os.Stderr)
+	default:
+		err = run(cfg, *out, *metrics, *pprofAddr, *summary, os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
 		os.Exit(1)
 	}
+}
+
+// runDistribute coordinates a distributed campaign: it serves span
+// leases on addr and merges worker submissions; it simulates nothing
+// itself. SIGINT/SIGTERM stop leasing and — with -checkpoint — persist a
+// final checkpoint, so rerunning with -resume continues the campaign.
+func runDistribute(cfg inject.Config, addr string, leaseSize int, leaseTTL time.Duration, out, metricsPath string, summary bool, errw io.Writer) error {
+	co, err := inject.NewCoordinator(cfg, inject.DistConfig{LeaseSize: leaseSize, LeaseTTL: leaseTTL})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.NewDistributor(co)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	done, total := co.Progress()
+	fmt.Fprintf(errw, "coordinator: campaign %s, %d/%d experiments merged\n", co.Digest(), done, total)
+	fmt.Fprintf(errw, "coordinator: join with: lockstep-inject -join http://%s/v1/campaigns/%s\n", ln.Addr(), co.Digest())
+
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		fmt.Fprintln(errw, "coordinator: interrupted; writing final checkpoint")
+		close(cancel)
+	}()
+
+	waitErr := co.WaitDone(cancel)
+	if waitErr == nil {
+		// Keep serving until the stragglers have observed LeaseDone
+		// (bounded: a crashed worker never polls again), so workers
+		// that did not land the final commit exit 0 instead of dying
+		// on connection-refused against a vanished coordinator.
+		co.DrainWorkers(2 * time.Second)
+	}
+	if summary {
+		fmt.Fprintf(errw, "coordinator: %s\n", co.Summary())
+	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath); err != nil {
+			return err
+		}
+	}
+	if waitErr != nil {
+		return waitErr
+	}
+	ds, st, err := co.Result()
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		return err
+	}
+	if summary {
+		fmt.Fprintf(errw, "throughput: %s\n", st)
+	}
+	return nil
+}
+
+// runJoin executes leases as a distributed-campaign worker until the
+// coordinator reports the campaign done. Workers produce no local
+// dataset — records stream to the coordinator — so -o is unused here.
+func runJoin(url, name string, leaseSize, workers int, metricsPath string, summary bool, errw io.Writer) error {
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	st, err := server.RunWorker(ctx, server.WorkerOptions{
+		URL: url, Name: name, LeaseSize: leaseSize, InjectWorkers: workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, "worker %s: %s\n", name, fmt.Sprintf(format, args...))
+		},
+	})
+	if summary {
+		fmt.Fprintf(errw, "worker %s: %d spans (%d experiments, %d pruned, %d duplicate, %d expired), busy %v of %v\n",
+			name, st.Spans, st.Experiments, st.Pruned, st.Duplicates, st.Expired,
+			st.Busy.Round(time.Millisecond), st.Elapsed.Round(time.Millisecond))
+	}
+	if metricsPath != "" {
+		if merr := writeMetrics(metricsPath); merr != nil && err == nil {
+			err = merr
+		}
+	}
+	return err
+}
+
+// writeMetrics dumps the telemetry snapshot to path.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // run executes the campaign and writes the CSV log, the optional
@@ -129,15 +283,7 @@ func run(cfg inject.Config, out, metricsPath, pprofAddr string, summary bool, er
 	}
 
 	if metricsPath != "" {
-		f, err := os.Create(metricsPath)
-		if err != nil {
-			return err
-		}
-		if err := telemetry.Default.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeMetrics(metricsPath); err != nil {
 			return err
 		}
 	}

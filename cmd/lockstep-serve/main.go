@@ -6,6 +6,7 @@
 //
 //	lockstep-serve [-addr host:port] [-table table.lspt] [-data dir]
 //	               [-campaign-workers N] [-inject-workers N]
+//	               [-lease-size N] [-lease-ttl D]
 //	               [-max-inflight N] [-max-batch N]
 //	               [-request-timeout D] [-drain-timeout D]
 //	               [-table-access N] [-metrics snapshot.json] [-pprof addr]
@@ -17,7 +18,11 @@
 // runs inject campaigns on a bounded worker pool; every job is
 // checkpointed into the data directory, so a killed or drained server
 // resumes its jobs on restart and the final datasets are byte-identical
-// to uninterrupted runs.
+// to uninterrupted runs. A campaign submitted with distribute:true runs
+// as a lease coordinator instead: worker nodes (`lockstep-inject -join`)
+// pull span leases from POST /v1/campaigns/{id}/leases, execute them,
+// and push records back to POST /v1/campaigns/{id}/spans; -lease-size
+// and -lease-ttl set the defaults for span length and re-issue timeout.
 //
 // SIGINT/SIGTERM drains gracefully: running campaigns stop at the next
 // experiment boundary and write a final checkpoint, in-flight HTTP
@@ -51,6 +56,8 @@ func main() {
 		dataDir    = flag.String("data", "", "campaign job directory (manifests, checkpoints, datasets); empty disables the campaign API")
 		campaigns  = flag.Int("campaign-workers", 1, "concurrent campaign jobs")
 		injWorkers = flag.Int("inject-workers", 0, "per-job experiment worker cap (0 = all CPUs)")
+		leaseSize  = flag.Int("lease-size", 0, "distributed campaigns: default span lease length in plan indices (0 = 512)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "distributed campaigns: lease TTL before an uncommitted span is re-issued (0 = 30s)")
 		inflight   = flag.Int("max-inflight", 64, "concurrent HTTP requests before answering 429")
 		maxBatch   = flag.Int("max-batch", 1024, "max DSRs in one predict request")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline (504 when exceeded)")
@@ -65,6 +72,8 @@ func main() {
 		DataDir:         *dataDir,
 		CampaignWorkers: *campaigns,
 		InjectWorkers:   *injWorkers,
+		LeaseSize:       *leaseSize,
+		LeaseTTL:        *leaseTTL,
 		MaxInFlight:     *inflight,
 		MaxBatch:        *maxBatch,
 		RequestTimeout:  *reqTimeout,

@@ -17,6 +17,8 @@ package inject
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -117,6 +119,22 @@ func (c Config) fingerprint() Fingerprint {
 	}
 }
 
+// Digest returns the fingerprint's compact campaign identity: the hex of
+// the first 8 bytes of the SHA-256 of its canonical JSON encoding. It is
+// the job ID lockstep-serve keys campaigns by, and the credential every
+// distributed lease/span message carries — a worker that cannot produce
+// the digest cannot have the same schedule, so its records are refused.
+func (f Fingerprint) Digest() string {
+	data, err := json.Marshal(f)
+	if err != nil {
+		// Fingerprint is a plain struct of strings/ints/bools; Marshal
+		// cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
 // diff returns the name and both renderings of the first field differing
 // between two fingerprints, or ok=true when they match. Fields are walked
 // by reflection so a future Fingerprint field cannot be forgotten here.
@@ -155,6 +173,18 @@ func (c *Checkpoint) DoneCount() int {
 		n += s.Hi - s.Lo
 	}
 	return n
+}
+
+// Validate checks the checkpoint against a campaign's config and plan
+// size, returning *ConfigMismatchError naming the first differing
+// schedule-relevant field (or a *CheckpointError on a plan-length
+// mismatch). It is what Resume enforces; exported so servers can refuse
+// a conflicting campaign submission before any work is scheduled.
+func (c *Checkpoint) Validate(cfg Config, planLen int) error {
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	return c.validate(cfg, planLen)
 }
 
 // validate checks the checkpoint against the resuming campaign's

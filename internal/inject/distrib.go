@@ -1,0 +1,895 @@
+// Distributed campaign execution: span leases and byte-identical merge.
+//
+// A campaign's plan is a fixed, seed-determined list of experiments, and
+// every record depends only on its plan entry and the kernel's golden run
+// — never on which machine executed it. That is the whole soundness
+// argument for distribution: a Coordinator owns the plan-index space and
+// hands out half-open [Lo, Hi) span *leases* to worker nodes; each worker
+// reconstructs the identical plan and goldens from the campaign's
+// schedule Fingerprint, executes its leased indices through the same
+// pruned-replay path inject.Run uses (SpanRunner), and streams the
+// completed records back. The coordinator merges records at their plan
+// index, so the final dataset is byte-identical to a single-machine run
+// at any worker count and any lease size.
+//
+// Failure handling is lease expiry + re-issue: a lease not committed
+// before its deadline returns to the free pool and is granted to the next
+// worker that asks. Commits are idempotent by construction — a span is
+// only committed once; a late commit for an already-covered span is
+// recognized as a duplicate and dropped, and a late commit for a span
+// that has been re-issued but not yet re-committed is refused with a
+// typed *LeaseExpiredError (the re-issued lease's holder will produce the
+// byte-identical records). Every lease and commit is authenticated by the
+// campaign's fingerprint digest, so a worker pointed at the wrong
+// coordinator (or built against a different trace version) is refused
+// with a *StaleFingerprintError before it can touch the dataset.
+//
+// The coordinator reuses the campaign checkpoint machinery verbatim:
+// merged spans persist in the same atomic CRC-sealed checkpoint file, so
+// a coordinator crash resumes mid-campaign and only the uncovered indices
+// are re-leased.
+package inject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
+	"lockstep/internal/telemetry"
+	"lockstep/internal/workload"
+)
+
+// maxLeaseSpan bounds one lease (and therefore one span submission) in
+// plan indices. It caps what a hostile or corrupt wire message can make
+// either side allocate.
+const maxLeaseSpan = 1 << 20
+
+// StaleFingerprintError reports a lease or span message whose schedule
+// digest does not match the coordinator's campaign — a worker joined to
+// the wrong coordinator, or built against an incompatible trace version.
+type StaleFingerprintError struct {
+	Got, Want string
+}
+
+func (e *StaleFingerprintError) Error() string {
+	return fmt.Sprintf("inject: stale campaign fingerprint: digest %q does not match this campaign (%s); the worker is joined to a different campaign or built against a different trace version", e.Got, e.Want)
+}
+
+// LeaseExpiredError reports a span commit under a lease the coordinator
+// no longer holds, where the span is not already covered: the lease
+// expired and was re-issued to another worker. The records are discarded
+// (the re-issued lease will produce byte-identical ones).
+type LeaseExpiredError struct {
+	ID   uint64
+	Sp   Span
+}
+
+func (e *LeaseExpiredError) Error() string {
+	return fmt.Sprintf("inject: lease %d over span [%d,%d) expired and was re-issued; span discarded", e.ID, e.Sp.Lo, e.Sp.Hi)
+}
+
+// LeaseStatus is the coordinator's answer to a lease request.
+type LeaseStatus int
+
+const (
+	// LeaseGranted carries a span lease to execute.
+	LeaseGranted LeaseStatus = 1
+	// LeaseWait means every remaining index is leased out; retry later.
+	LeaseWait LeaseStatus = 2
+	// LeaseDone means the campaign is complete; the worker can exit.
+	LeaseDone LeaseStatus = 3
+)
+
+func (s LeaseStatus) String() string {
+	switch s {
+	case LeaseGranted:
+		return "granted"
+	case LeaseWait:
+		return "wait"
+	case LeaseDone:
+		return "done"
+	}
+	return fmt.Sprintf("LeaseStatus(%d)", int(s))
+}
+
+// DistConfig sizes the coordinator's lease policy.
+type DistConfig struct {
+	// LeaseSize is the default span length in plan indices (0 = 512).
+	// Workers may ask for less or more; grants are clamped to the kernel
+	// block containing the span so one lease never straddles two goldens.
+	LeaseSize int
+	// LeaseTTL is how long a worker holds an uncommitted lease before it
+	// is re-issued (0 = 30s). Pick it well above a span's execution time:
+	// an expired-but-alive worker's commit is discarded and redone.
+	LeaseTTL time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (dc *DistConfig) normalize() {
+	if dc.LeaseSize <= 0 {
+		dc.LeaseSize = 512
+	}
+	if dc.LeaseSize > maxLeaseSpan {
+		dc.LeaseSize = maxLeaseSpan
+	}
+	if dc.LeaseTTL <= 0 {
+		dc.LeaseTTL = 30 * time.Second
+	}
+	if dc.now == nil {
+		dc.now = time.Now
+	}
+}
+
+// leaseState is one outstanding lease.
+type leaseState struct {
+	id       uint64
+	sp       Span
+	worker   string
+	deadline time.Time
+	reissued bool // the span had been leased before (expiry path)
+}
+
+// freeSpan is an unleased, uncovered plan-index range.
+type freeSpan struct {
+	Span
+	reissued bool
+}
+
+// distWorker is the coordinator's per-worker bookkeeping: the kernel
+// block the worker last executed in (lease affinity keeps a worker inside
+// one golden as long as that block has work, so worker nodes build as few
+// goldens as possible) and its throughput accounting.
+type distWorker struct {
+	block       int // kernel-block index of the last lease; -1 before any
+	experiments int64
+	busyUS      int64
+	sawDone     bool // worker has observed campaign completion
+	perSec      *telemetry.Gauge
+}
+
+// Coordinator owns one distributed campaign: the plan-index space, the
+// lease table, the merged records and the checkpoint. It never builds
+// goldens or simulates — coordination is cheap enough to run anywhere,
+// including on a node that is also serving predictions.
+//
+// All methods are safe for concurrent use by HTTP handlers.
+type Coordinator struct {
+	cfg    Config
+	fp     Fingerprint
+	digest string
+	total  int
+	dc     DistConfig
+	// kernelBlock is the plan-index length of one kernel's contiguous
+	// block (the plan is kernel-major with equal-sized blocks).
+	kernelBlock int
+	start       time.Time
+
+	mu       sync.Mutex
+	records  []dataset.Record
+	done     []atomic.Bool
+	doneN    int
+	restored int
+	free     []freeSpan
+	leases   map[uint64]*leaseState
+	nextID   uint64
+	workers  map[string]*distWorker
+	closed   bool
+
+	issued, expired, reissued int64
+	merged, duplicates        int64
+	pruned, oracleChecked     int64
+
+	ckp      *checkpointer
+	ckWrites int
+
+	completeOnce sync.Once
+	completeCh   chan struct{}
+
+	telIssued, telExpired, telReissued *telemetry.Counter
+	telMerged, telDup                  *telemetry.Counter
+}
+
+// NewCoordinator builds the coordinator for cfg. With cfg.CheckpointPath
+// set the merged spans are checkpointed exactly like a local campaign;
+// with cfg.Resume the existing checkpoint is restored (refusing corrupt
+// files and config mismatches with the same typed errors as inject.Run)
+// and only the uncovered plan indices are leased out.
+func NewCoordinator(cfg Config, dc DistConfig) (*Coordinator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	dc.normalize()
+	total, err := cfg.Total()
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		fp:          cfg.fingerprint(),
+		total:       total,
+		dc:          dc,
+		kernelBlock: total / len(cfg.Kernels),
+		start:       dc.now(),
+		records:     make([]dataset.Record, total),
+		done:        make([]atomic.Bool, total),
+		leases:      map[uint64]*leaseState{},
+		workers:     map[string]*distWorker{},
+		completeCh:  make(chan struct{}),
+		telIssued:   telemetry.Default.Counter("inject.leases_issued"),
+		telExpired:  telemetry.Default.Counter("inject.leases_expired"),
+		telReissued: telemetry.Default.Counter("inject.leases_reissued"),
+		telMerged:   telemetry.Default.Counter("inject.spans_merged"),
+		telDup:      telemetry.Default.Counter("inject.span_duplicates"),
+	}
+	c.digest = c.fp.Digest()
+	if cfg.Resume {
+		ck, err := ReadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := ck.Validate(cfg, total); err != nil {
+			return nil, err
+		}
+		ri := 0
+		for _, sp := range ck.Done {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				c.records[i] = ck.Records[ri]
+				ri++
+				c.done[i].Store(true)
+			}
+		}
+		c.doneN = ck.DoneCount()
+		c.restored = c.doneN
+		telemetry.Default.Gauge("inject.experiments_restored").Set(int64(c.restored))
+	}
+	// The free list is the complement of the restored spans, in order.
+	lo := 0
+	for i := 0; i <= total; i++ {
+		if i == total || c.done[i].Load() {
+			if lo < i {
+				c.free = append(c.free, freeSpan{Span: Span{Lo: lo, Hi: i}})
+			}
+			lo = i + 1
+		}
+	}
+	if cfg.CheckpointPath != "" {
+		c.ckp = startCheckpointer(cfg, c.records, c.done)
+	}
+	if c.doneN == total {
+		c.completeOnce.Do(func() { close(c.completeCh) })
+	}
+	return c, nil
+}
+
+// Digest returns the campaign's schedule-fingerprint digest — the
+// identity every lease and span message must carry (and the campaign's
+// job ID in lockstep-serve).
+func (c *Coordinator) Digest() string { return c.digest }
+
+// Fingerprint returns the campaign's schedule fingerprint; a worker
+// reconstructs the identical Config (and therefore plan and goldens)
+// from it.
+func (c *Coordinator) Fingerprint() Fingerprint { return c.fp }
+
+// Total returns the campaign plan length.
+func (c *Coordinator) Total() int { return c.total }
+
+// Progress returns merged (restored included) and total experiment
+// counts.
+func (c *Coordinator) Progress() (done, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.doneN, c.total
+}
+
+// blockOf maps a plan index onto its kernel-block index.
+func (c *Coordinator) blockOf(idx int) int {
+	if c.kernelBlock <= 0 {
+		return 0
+	}
+	return idx / c.kernelBlock
+}
+
+// blockEnd returns the plan index ending the kernel block containing idx.
+func (c *Coordinator) blockEnd(idx int) int {
+	if c.kernelBlock <= 0 {
+		return c.total
+	}
+	end := (idx/c.kernelBlock + 1) * c.kernelBlock
+	if end > c.total {
+		end = c.total
+	}
+	return end
+}
+
+// expire returns every overdue lease's span to the free pool (marked for
+// re-issue). Expiry is lazy — checked whenever a worker asks for work —
+// so no background timer is needed: a dead worker's span is re-issued
+// exactly when a live worker could use it.
+func (c *Coordinator) expire(now time.Time) {
+	for id, ls := range c.leases {
+		if now.Before(ls.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		c.insertFree(freeSpan{Span: ls.sp, reissued: true})
+		c.expired++
+		c.telExpired.Inc()
+	}
+}
+
+// insertFree puts sp back into the sorted free list.
+func (c *Coordinator) insertFree(sp freeSpan) {
+	at := len(c.free)
+	for i, f := range c.free {
+		if sp.Lo < f.Lo {
+			at = i
+			break
+		}
+	}
+	c.free = append(c.free, freeSpan{})
+	copy(c.free[at+1:], c.free[at:])
+	c.free[at] = sp
+}
+
+// pickFree chooses where the worker's next lease is cut from: the
+// worker's current kernel block if it still has free work (so the
+// worker keeps reusing the golden it already built), else the block
+// with the fewest active leases that still has free work (spreading
+// workers across kernels so a cluster builds each golden as few times
+// as possible), lowest block index on ties. Free spans may straddle
+// block boundaries, so the pick is a (free index, cut plan index) pair;
+// Acquire carves the lease out of the span starting at the cut.
+func (c *Coordinator) pickFree(w *distWorker) (int, int) {
+	if len(c.free) == 0 {
+		return -1, 0
+	}
+	firstIn := map[int]int{} // block -> first intersecting free index
+	cutAt := map[int]int{}   // block -> plan index to cut at
+	for i, f := range c.free {
+		for b := c.blockOf(f.Lo); b <= c.blockOf(f.Hi-1); b++ {
+			if _, ok := firstIn[b]; ok {
+				continue
+			}
+			firstIn[b] = i
+			lo := f.Lo
+			if bs := b * c.kernelBlock; lo < bs {
+				lo = bs
+			}
+			cutAt[b] = lo
+		}
+	}
+	if w.block >= 0 {
+		if i, ok := firstIn[w.block]; ok {
+			return i, cutAt[w.block]
+		}
+	}
+	active := map[int]int{}
+	for _, ls := range c.leases {
+		active[c.blockOf(ls.sp.Lo)]++
+	}
+	best, bestLoad := -1, -1
+	for b := range firstIn {
+		if best == -1 || active[b] < bestLoad || (active[b] == bestLoad && b < best) {
+			best, bestLoad = b, active[b]
+		}
+	}
+	return firstIn[best], cutAt[best]
+}
+
+// Acquire answers one worker's lease request. digest must match the
+// campaign (see StaleFingerprintError); want is the preferred span
+// length (0 = the coordinator's default). The reply is ready for the
+// wire: it carries the fingerprint, progress, and — when granted — the
+// lease ID, span and TTL.
+func (c *Coordinator) Acquire(worker, digest string, want int) (*LeaseReply, error) {
+	if digest != c.digest {
+		return nil, &StaleFingerprintError{Got: digest, Want: c.digest}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reply := &LeaseReply{FP: c.fp, Total: c.total, Done: c.doneN}
+	if c.closed && c.doneN < c.total {
+		return nil, fmt.Errorf("inject: coordinator is shutting down")
+	}
+	if c.doneN == c.total {
+		if w := c.workers[worker]; w != nil {
+			w.sawDone = true
+		}
+		reply.Status = LeaseDone
+		return reply, nil
+	}
+	c.expire(c.dc.now())
+	w := c.workers[worker]
+	if w == nil {
+		w = &distWorker{
+			block:  -1,
+			perSec: telemetry.Default.Gauge("inject.worker_per_sec", telemetry.L("worker", worker)),
+		}
+		c.workers[worker] = w
+	}
+	i, lo := c.pickFree(w)
+	if i < 0 {
+		reply.Status = LeaseWait
+		// All spans are leased out (or restored): the wait ends either by
+		// another worker finishing the campaign or by a lease expiring, so
+		// poll well under the TTL and never so slowly that a near-done
+		// campaign keeps an idle worker stalled.
+		reply.Retry = c.dc.LeaseTTL / 4
+		if reply.Retry < 50*time.Millisecond {
+			reply.Retry = 50 * time.Millisecond
+		}
+		if reply.Retry > 250*time.Millisecond {
+			reply.Retry = 250 * time.Millisecond
+		}
+		return reply, nil
+	}
+	f := c.free[i]
+	size := want
+	if size <= 0 {
+		size = c.dc.LeaseSize
+	}
+	if size > maxLeaseSpan {
+		size = maxLeaseSpan
+	}
+	hi := lo + size
+	if end := c.blockEnd(lo); hi > end {
+		hi = end
+	}
+	if hi > f.Hi {
+		hi = f.Hi
+	}
+	sp := Span{Lo: lo, Hi: hi}
+	switch {
+	case lo == f.Lo && hi == f.Hi:
+		c.free = append(c.free[:i], c.free[i+1:]...)
+	case lo == f.Lo:
+		c.free[i].Lo = hi
+	case hi == f.Hi:
+		c.free[i].Hi = lo
+	default:
+		// Cut from the middle of a straddling span: keep the head in
+		// place, give the tail its own free entry.
+		c.free[i].Hi = lo
+		c.insertFree(freeSpan{Span: Span{Lo: hi, Hi: f.Hi}, reissued: f.reissued})
+	}
+	c.nextID++
+	ls := &leaseState{
+		id:       c.nextID,
+		sp:       sp,
+		worker:   worker,
+		deadline: c.dc.now().Add(c.dc.LeaseTTL),
+		reissued: f.reissued,
+	}
+	c.leases[ls.id] = ls
+	w.block = c.blockOf(sp.Lo)
+	c.issued++
+	c.telIssued.Inc()
+	if f.reissued {
+		c.reissued++
+		c.telReissued.Inc()
+	}
+	reply.Status = LeaseGranted
+	reply.LeaseID = ls.id
+	reply.Span = sp
+	reply.TTL = c.dc.LeaseTTL
+	return reply, nil
+}
+
+// Commit merges one completed span. It is idempotent: a span whose
+// indices are all already covered is acknowledged as a duplicate and
+// dropped; a commit under an expired-and-re-issued lease whose span is
+// not yet covered is refused with *LeaseExpiredError. A successful
+// commit writes the records at their plan indices — canonical plan
+// order by construction — and feeds the checkpointer.
+func (c *Coordinator) Commit(sub *SpanSubmit) (*SpanReply, error) {
+	if sub.Digest != c.digest {
+		return nil, &StaleFingerprintError{Got: sub.Digest, Want: c.digest}
+	}
+	sp := sub.Span
+	if sp.Lo < 0 || sp.Lo >= sp.Hi || sp.Hi > c.total {
+		return nil, fmt.Errorf("inject: span [%d,%d) outside plan of %d", sp.Lo, sp.Hi, c.total)
+	}
+	if len(sub.Records) != sp.Hi-sp.Lo {
+		return nil, fmt.Errorf("inject: span [%d,%d) carries %d records, want %d", sp.Lo, sp.Hi, len(sub.Records), sp.Hi-sp.Lo)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reply := &SpanReply{Total: c.total}
+	ls := c.leases[sub.LeaseID]
+	if ls == nil || ls.sp != sp {
+		covered := true
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if !c.done[i].Load() {
+				covered = false
+				break
+			}
+		}
+		reply.Done = c.doneN
+		if covered {
+			reply.Duplicate = true
+			c.duplicates++
+			c.telDup.Inc()
+			if w := c.workers[sub.Worker]; w != nil && c.doneN == c.total {
+				w.sawDone = true
+			}
+			return reply, nil
+		}
+		return nil, &LeaseExpiredError{ID: sub.LeaseID, Sp: sp}
+	}
+	if c.closed {
+		return nil, fmt.Errorf("inject: coordinator is shutting down")
+	}
+	delete(c.leases, sub.LeaseID)
+	for i := sp.Lo; i < sp.Hi; i++ {
+		c.records[i] = sub.Records[i-sp.Lo]
+		c.done[i].Store(true)
+		if c.ckp != nil {
+			c.ckp.completed()
+		}
+	}
+	n := sp.Hi - sp.Lo
+	c.doneN += n
+	c.merged++
+	c.telMerged.Inc()
+	c.pruned += int64(sub.Pruned)
+	c.oracleChecked += int64(sub.OracleChecked)
+	if sub.Pruned > 0 {
+		telemetry.Default.Counter("inject.pruned").Add(int64(sub.Pruned))
+	}
+	if sub.OracleChecked > 0 {
+		telemetry.Default.Counter("inject.pruned_oracle_checked").Add(int64(sub.OracleChecked))
+	}
+	if w := c.workers[sub.Worker]; w != nil {
+		w.experiments += int64(n)
+		w.busyUS += sub.BusyUS
+		if w.busyUS > 0 {
+			w.perSec.Set(w.experiments * 1_000_000 / w.busyUS)
+		}
+	}
+	reply.Done = c.doneN
+	if c.doneN == c.total {
+		if w := c.workers[sub.Worker]; w != nil {
+			w.sawDone = true
+		}
+		c.completeOnce.Do(func() { close(c.completeCh) })
+	}
+	return reply, nil
+}
+
+// DrainWorkers blocks until every worker that ever held a lease has
+// observed campaign completion — a LeaseDone acquire reply, or a commit
+// ack showing done == total — or until timeout. The standalone
+// coordinator calls this before closing its listener so that workers
+// which did not land the final commit pick up LeaseDone on their next
+// poll and exit cleanly, instead of dying on connection-refused against
+// a vanished coordinator. A worker that crashed never polls again;
+// timeout is what bounds the wait on its behalf.
+func (c *Coordinator) DrainWorkers(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		waiting := 0
+		for _, w := range c.workers {
+			if !w.sawDone {
+				waiting++
+			}
+		}
+		c.mu.Unlock()
+		if waiting == 0 || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Done reports campaign completion without blocking.
+func (c *Coordinator) Done() bool {
+	select {
+	case <-c.completeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitDone blocks until every span is merged or cancel fires. Either way
+// the final checkpoint is written (covering everything merged so far), so
+// a canceled or crashed coordinator resumes mid-campaign; cancellation
+// returns ErrCanceled, mirroring inject.RunStats.
+func (c *Coordinator) WaitDone(cancel <-chan struct{}) error {
+	canceled := false
+	select {
+	case <-c.completeCh:
+	case <-cancel:
+		canceled = true
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.ckp != nil {
+		n, err := c.ckp.stop()
+		c.ckWrites = n
+		c.ckp = nil
+		if err != nil {
+			return fmt.Errorf("inject: checkpoint: %w", err)
+		}
+	}
+	if canceled {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// Result returns the merged dataset and the campaign stats once every
+// span is committed.
+func (c *Coordinator) Result() (*dataset.Dataset, Stats, error) {
+	if !c.Done() {
+		done, total := c.Progress()
+		return nil, c.Stats(), fmt.Errorf("inject: campaign incomplete (%d/%d experiments merged)", done, total)
+	}
+	st := c.Stats()
+	for i := range c.records {
+		if c.records[i].Failed {
+			st.Failures++
+		}
+	}
+	return &dataset.Dataset{Records: c.records}, st, nil
+}
+
+// Stats reports the distributed campaign the same way RunStats does:
+// Experiments counts merged records (restored included), PerSec is
+// merge throughput over the coordinator's wall clock.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Experiments:   c.doneN,
+		Restored:      c.restored,
+		Pruned:        int(c.pruned),
+		OracleChecked: int(c.oracleChecked),
+		Checkpoints:   c.ckWrites,
+		Workers:       len(c.workers),
+		Elapsed:       c.dc.now().Sub(c.start),
+	}
+	if secs := st.Elapsed.Seconds(); secs > 0 {
+		st.PerSec = float64(st.Executed()) / secs
+	}
+	return st
+}
+
+// Summary renders the lease-lifecycle counters one-line, for CLI
+// summaries and tests.
+func (c *Coordinator) Summary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("leases: %d issued, %d expired, %d reissued; spans: %d merged, %d duplicate; workers: %d",
+		c.issued, c.expired, c.reissued, c.merged, c.duplicates, len(c.workers))
+}
+
+// Config reconstructs the runnable campaign Config a Fingerprint pins.
+// The round trip is exact — cfg.fingerprint() of the result equals f —
+// which is what lets a worker node rebuild the identical plan, goldens
+// and pruning analysis from the coordinator's fingerprint alone. A
+// fingerprint from a build with a different golden-trace/pruning
+// generation is refused: its goldens would not be comparable.
+func (f Fingerprint) Config() (Config, error) {
+	if f.TraceVersion != lockstep.TraceVersion {
+		return Config{}, fmt.Errorf("inject: campaign ran trace version %d, this build has %d; use matching builds on every node", f.TraceVersion, lockstep.TraceVersion)
+	}
+	kinds := make([]lockstep.FaultKind, len(f.Kinds))
+	for i, k := range f.Kinds {
+		if k < 0 || lockstep.FaultKind(k) >= lockstep.NumFaultKinds {
+			return Config{}, fmt.Errorf("inject: fingerprint names unknown fault kind %d", k)
+		}
+		kinds[i] = lockstep.FaultKind(k)
+	}
+	for _, name := range f.Kernels {
+		if workload.ByName(name) == nil {
+			return Config{}, fmt.Errorf("inject: fingerprint names unknown kernel %q", name)
+		}
+	}
+	return Config{
+		Kernels:               append([]string(nil), f.Kernels...),
+		RunCycles:             f.RunCycles,
+		Intervals:             f.Intervals,
+		InjectionsPerFlopKind: f.InjectionsPerFlopKind,
+		FlopStride:            f.FlopStride,
+		Kinds:                 kinds,
+		StopLatency:           f.StopLatency,
+		Seed:                  f.Seed,
+		Legacy:                f.Legacy,
+		NoPrune:               f.NoPrune,
+	}, nil
+}
+
+// SpanStats reports how one leased span executed.
+type SpanStats struct {
+	Pruned        int // outcomes proved statically, recorded without simulating
+	OracleChecked int // pruned sites re-simulated by the differential oracle
+	Failures      int // experiments recorded as Failed by the containment layer
+}
+
+// SpanRunner is the worker-node side of a distributed campaign: the plan
+// reconstructed from the coordinator's fingerprint, lazily built goldens,
+// and per-executor replay scratch reused across spans. One runner serves
+// one campaign; Run is not safe for concurrent use (a worker node runs
+// its leased spans serially and parallelizes inside the span).
+type SpanRunner struct {
+	cfg       Config
+	plan      []Experiment
+	window    int
+	snapEvery int
+	goldens   map[string]*lockstep.Golden
+	execs     []*worker
+	tel       *campaignTelemetry
+}
+
+// NewSpanRunner builds the runner for cfg. Config.Workers sets the
+// in-span parallelism; everything schedule-relevant must come from the
+// coordinator's fingerprint (Fingerprint.Config) or the records will not
+// be accepted.
+func NewSpanRunner(cfg Config) (*SpanRunner, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	plan, err := cfg.Plan()
+	if err != nil {
+		return nil, err
+	}
+	window := cfg.StopLatency
+	if window <= 0 {
+		window = lockstep.StopLatency
+	}
+	snapEvery := cfg.RunCycles / 16
+	if snapEvery < 1 {
+		snapEvery = 1
+	}
+	r := &SpanRunner{
+		cfg:       cfg,
+		plan:      plan,
+		window:    window,
+		snapEvery: snapEvery,
+		goldens:   map[string]*lockstep.Golden{},
+		execs:     make([]*worker, cfg.Workers),
+		tel:       newCampaignTelemetry(cfg),
+	}
+	return r, nil
+}
+
+// Total returns the plan length (must equal the coordinator's).
+func (r *SpanRunner) Total() int { return len(r.plan) }
+
+// Digest returns the runner's schedule digest, for join-time auth.
+func (r *SpanRunner) Digest() string { return r.cfg.fingerprint().Digest() }
+
+// golden returns (building on first use) the kernel's golden run. Leases
+// are cut at kernel-block boundaries and granted with block affinity, so
+// a worker typically builds one golden and reuses it across many spans.
+func (r *SpanRunner) golden(name string) (*lockstep.Golden, error) {
+	if g := r.goldens[name]; g != nil {
+		return g, nil
+	}
+	g, err := lockstep.NewGolden(workload.ByName(name), r.cfg.RunCycles, r.snapEvery)
+	if err != nil {
+		return nil, err
+	}
+	r.goldens[name] = g
+	var traceBytes int64
+	for _, g := range r.goldens {
+		traceBytes += g.TraceBytes()
+	}
+	telemetry.Default.Gauge("inject.golden_trace_bytes").Set(traceBytes)
+	return g, nil
+}
+
+// Run executes plan indices [sp.Lo, sp.Hi) and returns their records in
+// plan order. The records are byte-identical to what a single-machine
+// inject.Run would put at those indices: the plan, pruning decisions,
+// oracle sampling and record rendering all go through the same
+// deterministic functions, keyed only by the campaign seed and the
+// experiment coordinates.
+func (r *SpanRunner) Run(sp Span) ([]dataset.Record, SpanStats, error) {
+	var st SpanStats
+	if sp.Lo < 0 || sp.Lo >= sp.Hi || sp.Hi > len(r.plan) {
+		return nil, st, fmt.Errorf("inject: span [%d,%d) outside plan of %d", sp.Lo, sp.Hi, len(r.plan))
+	}
+	for i := sp.Lo; i < sp.Hi; i++ {
+		if _, err := r.golden(r.plan[i].Kernel); err != nil {
+			return nil, st, err
+		}
+	}
+	records := make([]dataset.Record, sp.Hi-sp.Lo)
+
+	// Static pruning + oracle sampling, exactly as in RunStats: the
+	// decisions depend only on (seed, experiment, golden), so a span
+	// resolves identically here and on a single machine.
+	pending := make([]int, 0, sp.Hi-sp.Lo)
+	var oracleExpect map[int]lockstep.Outcome
+	if !r.cfg.NoPrune {
+		oracleExpect = make(map[int]lockstep.Outcome)
+		for i := sp.Lo; i < sp.Hi; i++ {
+			e := r.plan[i]
+			out, ok := r.goldens[e.Kernel].Prune(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle})
+			if !ok {
+				pending = append(pending, i)
+				continue
+			}
+			if oracleSampled(r.cfg.Seed, e) {
+				oracleExpect[i] = out
+				st.OracleChecked++
+				pending = append(pending, i)
+				continue
+			}
+			records[i-sp.Lo] = recordFor(e, out)
+			r.tel.record(e, out)
+			st.Pruned++
+		}
+	} else {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			pending = append(pending, i)
+		}
+	}
+
+	workers := r.cfg.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	abort := make(chan struct{})
+	var oracleOnce sync.Once
+	var oracleErr error
+	next := make(chan int)
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		if r.execs[wi] == nil {
+			r.execs[wi] = &worker{cfg: r.cfg, window: r.window}
+		}
+		w := r.execs[wi]
+		w.goldens = r.goldens
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				e := r.plan[idx]
+				out := w.run(e)
+				if out.Failed {
+					failures.Add(1)
+				}
+				if expect, ok := oracleExpect[idx]; ok && !out.Failed && out != expect {
+					oracleOnce.Do(func() {
+						oracleErr = fmt.Errorf(
+							"inject: pruning oracle mismatch: %s %s at flop %d cycle %d predicted %+v, simulated %+v",
+							e.Kernel, e.Kind, e.Flop, e.Cycle, expect, out)
+						close(abort)
+					})
+				}
+				records[idx-sp.Lo] = recordFor(e, out)
+				r.tel.record(e, out)
+			}
+		}()
+	}
+feed:
+	for _, idx := range pending {
+		select {
+		case next <- idx:
+		case <-abort:
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	st.Failures = int(failures.Load())
+	if oracleErr != nil {
+		return nil, st, oracleErr
+	}
+	return records, st, nil
+}

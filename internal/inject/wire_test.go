@@ -1,0 +1,248 @@
+package inject
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"lockstep/internal/cpu"
+	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
+)
+
+// wireFingerprint returns a real campaign fingerprint for reply tests.
+func wireFingerprint(t testing.TB) Fingerprint {
+	t.Helper()
+	fp, err := smallConfig().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// wireRecords builds a plausible two-kernel record stream with every
+// flag combination represented.
+func wireRecords(n int) []dataset.Record {
+	records := make([]dataset.Record, n)
+	kernels := []string{"ttsprk", "puwmod"}
+	for i := range records {
+		flop := (i * 37) % cpu.NumFlops()
+		records[i] = dataset.Record{
+			Kernel:      kernels[i*len(kernels)/n],
+			Flop:        flop,
+			Unit:        cpu.FlopUnit(flop),
+			Fine:        cpu.FlopFine(flop),
+			Kind:        lockstep.FaultKind(i % int(lockstep.NumFaultKinds)),
+			InjectCycle: 100 + i*13,
+			Detected:    i%2 == 0,
+			DetectCycle: 100 + i*13 + i%29,
+			DSR:         uint64(i) * 0x9e3779b9,
+			Converged:   i%3 == 0,
+			Failed:      i%5 == 4,
+		}
+	}
+	return records
+}
+
+func TestWireRoundTrips(t *testing.T) {
+	fp := wireFingerprint(t)
+
+	t.Run("LeaseRequest", func(t *testing.T) {
+		for _, in := range []*LeaseRequest{
+			{Worker: "node-a", Digest: fp.Digest(), Want: 512},
+			{Worker: "", Digest: "", Want: 0},
+		} {
+			out, err := DecodeLeaseRequest(in.Encode())
+			if err != nil {
+				t.Fatalf("%+v: %v", in, err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip changed the message:\nin  %+v\nout %+v", in, out)
+			}
+		}
+	})
+
+	t.Run("LeaseReply", func(t *testing.T) {
+		for _, in := range []*LeaseReply{
+			{Status: LeaseGranted, Total: 2835, Done: 512, FP: fp, LeaseID: 7,
+				Span: Span{Lo: 512, Hi: 1024}, TTL: 30 * time.Second},
+			{Status: LeaseWait, Total: 2835, Done: 2800, FP: fp, Retry: 250 * time.Millisecond},
+			{Status: LeaseDone, Total: 2835, Done: 2835, FP: fp},
+		} {
+			data, err := in.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := DecodeLeaseReply(data)
+			if err != nil {
+				t.Fatalf("status %v: %v", in.Status, err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip changed the message:\nin  %+v\nout %+v", in, out)
+			}
+		}
+	})
+
+	t.Run("SpanSubmit", func(t *testing.T) {
+		records := wireRecords(64)
+		in := &SpanSubmit{
+			Worker: "node-b", Digest: fp.Digest(), LeaseID: 9,
+			Span: Span{Lo: 100, Hi: 164}, BusyUS: 123456, Pruned: 12, OracleChecked: 3,
+			Records: records,
+		}
+		out, err := DecodeSpanSubmit(in.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip changed the message:\nin  %+v\nout %+v", in, out)
+		}
+	})
+
+	t.Run("SpanReply", func(t *testing.T) {
+		for _, in := range []*SpanReply{
+			{Duplicate: false, Done: 164, Total: 2835},
+			{Duplicate: true, Done: 2835, Total: 2835},
+		} {
+			out, err := DecodeSpanReply(in.Encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("round trip changed the message:\nin  %+v\nout %+v", in, out)
+			}
+		}
+	})
+}
+
+// TestWireUnitRecompute: Unit/Fine never travel — the decoder re-derives
+// them from the flop index, so a submission can't disagree with the
+// coordinator's rendering.
+func TestWireUnitRecompute(t *testing.T) {
+	records := wireRecords(4)
+	in := &SpanSubmit{Worker: "w", Digest: "d", Span: Span{Lo: 0, Hi: 4}, Records: records}
+	data := in.Encode()
+	// Lie about the unit columns on the sender side; the wire must not care.
+	in.Records[0].Unit++
+	in.Records[0].Fine++
+	if !reflect.DeepEqual(in.Encode(), data) {
+		t.Fatal("unit columns leaked into the encoding")
+	}
+	out, err := DecodeSpanSubmit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Records[0].Unit != cpu.FlopUnit(out.Records[0].Flop) {
+		t.Fatalf("decoded unit %v not recomputed from flop", out.Records[0].Unit)
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	fp := wireFingerprint(t)
+	goodReq := (&LeaseRequest{Worker: "w", Digest: "d", Want: 1}).Encode()
+	goodReply, err := (&LeaseReply{Status: LeaseDone, Total: 10, Done: 10, FP: fp}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSubmit := (&SpanSubmit{Worker: "w", Digest: "d", Span: Span{Lo: 0, Hi: 2}, Records: wireRecords(2)}).Encode()
+
+	mutate := func(b []byte, at int, v byte) []byte {
+		out := append([]byte(nil), b...)
+		out[at] = v
+		return out
+	}
+	cases := []struct {
+		name   string
+		decode func([]byte) error
+		data   []byte
+	}{
+		{"empty", func(b []byte) error { _, err := DecodeLeaseRequest(b); return err }, nil},
+		{"bad magic", func(b []byte) error { _, err := DecodeLeaseRequest(b); return err }, mutate(goodReq, 0, 'X')},
+		{"bad version", func(b []byte) error { _, err := DecodeLeaseRequest(b); return err }, mutate(goodReq, 4, 99)},
+		{"wrong kind", func(b []byte) error { _, err := DecodeLeaseRequest(b); return err }, goodReply},
+		{"trailing garbage", func(b []byte) error { _, err := DecodeLeaseRequest(b); return err }, append(append([]byte(nil), goodReq...), 0)},
+		{"truncated reply", func(b []byte) error { _, err := DecodeLeaseReply(b); return err }, goodReply[:len(goodReply)-3]},
+		{"bad lease status", func(b []byte) error { _, err := DecodeLeaseReply(b); return err }, mutate(goodReply, 6, 99)},
+		{"truncated submit", func(b []byte) error { _, err := DecodeSpanSubmit(b); return err }, goodSubmit[:len(goodSubmit)-1]},
+		{"reply done>total", func(b []byte) error { _, err := DecodeSpanReply(b); return err },
+			(&SpanReply{Done: 11, Total: 10}).Encode()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.decode(tc.data)
+			var we *WireError
+			if !errors.As(err, &we) {
+				t.Fatalf("got %v, want *WireError", err)
+			}
+		})
+	}
+}
+
+// FuzzLeaseDecode drives arbitrary bytes through every wire decoder.
+// The invariants under fuzz: no panic, no unbounded allocation, every
+// rejection is a typed *WireError, and every accepted message survives
+// an encode/decode round trip unchanged.
+func FuzzLeaseDecode(f *testing.F) {
+	fp := wireFingerprint(f)
+	seedReply, err := (&LeaseReply{Status: LeaseGranted, Total: 100, Done: 10, FP: fp,
+		LeaseID: 3, Span: Span{Lo: 10, Hi: 26}, TTL: 30 * time.Second}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		(&LeaseRequest{Worker: "node", Digest: fp.Digest(), Want: 64}).Encode(),
+		seedReply,
+		(&SpanSubmit{Worker: "node", Digest: fp.Digest(), LeaseID: 3,
+			Span: Span{Lo: 10, Hi: 26}, BusyUS: 1000, Records: wireRecords(16)}).Encode(),
+		(&SpanReply{Duplicate: true, Done: 26, Total: 100}).Encode(),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		for _, cut := range []int{1, 5, len(s) / 2, len(s) - 1} {
+			if cut > 0 && cut < len(s) {
+				f.Add(s[:cut])
+			}
+		}
+		for _, at := range []int{0, 4, 5, len(s) - 1} {
+			m := append([]byte(nil), s...)
+			m[at] ^= 0xff
+			f.Add(m)
+		}
+	}
+
+	checkErr := func(t *testing.T, what string, err error) {
+		var we *WireError
+		if err != nil && !errors.As(err, &we) {
+			t.Fatalf("%s: rejection is %T (%v), want *WireError", what, err, err)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeLeaseRequest(data); err != nil {
+			checkErr(t, "LeaseRequest", err)
+		} else if m2, err := DecodeLeaseRequest(m.Encode()); err != nil || !reflect.DeepEqual(m, m2) {
+			t.Fatalf("LeaseRequest round trip: %v\nin  %+v\nout %+v", err, m, m2)
+		}
+		if m, err := DecodeLeaseReply(data); err != nil {
+			checkErr(t, "LeaseReply", err)
+		} else {
+			enc, err := m.Encode()
+			if err != nil {
+				t.Fatalf("LeaseReply re-encode: %v", err)
+			}
+			if m2, err := DecodeLeaseReply(enc); err != nil || !reflect.DeepEqual(m, m2) {
+				t.Fatalf("LeaseReply round trip: %v\nin  %+v\nout %+v", err, m, m2)
+			}
+		}
+		if m, err := DecodeSpanSubmit(data); err != nil {
+			checkErr(t, "SpanSubmit", err)
+		} else if m2, err := DecodeSpanSubmit(m.Encode()); err != nil || !reflect.DeepEqual(m, m2) {
+			t.Fatalf("SpanSubmit round trip: %v\nin  %+v\nout %+v", err, m, m2)
+		}
+		if m, err := DecodeSpanReply(data); err != nil {
+			checkErr(t, "SpanReply", err)
+		} else if m2, err := DecodeSpanReply(m.Encode()); err != nil || !reflect.DeepEqual(m, m2) {
+			t.Fatalf("SpanReply round trip: %v\nin  %+v\nout %+v", err, m, m2)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"lockstep/internal/inject"
+)
+
+// TestDistributedScalingBench measures distributed-campaign scaling on
+// the reference 3-kernel campaign (the BENCH_inject.json schedule):
+// a coordinator plus 1/2/4 worker loops. Gated behind
+// LOCKSTEP_DIST_BENCH=1 (`make distributed-bench`).
+//
+// Methodology for a 1-vCPU host: the workers are time-sliced through
+// the shared gate, so only one span executes at any instant and each
+// worker's Busy is single-core-accurate. The cluster-projected exp/s is
+// experiments / max(worker Busy) — the wall-clock rate an N-machine
+// cluster would see, since each machine would run its span stream in
+// parallel with the others. The measured wall rate (experiments / local
+// wall clock) is reported alongside and, on one core, stays ~flat by
+// construction.
+func TestDistributedScalingBench(t *testing.T) {
+	if os.Getenv("LOCKSTEP_DIST_BENCH") == "" {
+		t.Skip("set LOCKSTEP_DIST_BENCH=1 (or run `make distributed-bench`) to run the scaling bench")
+	}
+	cfg := inject.Config{
+		Kernels:               []string{"ttsprk", "rspeed", "puwmod"},
+		RunCycles:             6000,
+		Intervals:             64,
+		InjectionsPerFlopKind: 1,
+		FlopStride:            7,
+		Seed:                  3,
+		Workers:               1,
+	}
+
+	// Single-machine reference on the same process and host.
+	baseStart := time.Now()
+	ref, _, err := inject.RunStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWall := time.Since(baseStart)
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+	total := ref.Len()
+	basePerSec := float64(total) / baseWall.Seconds()
+	t.Logf("single-machine: %d experiments in %v (%.0f exp/s)", total, baseWall.Round(time.Millisecond), basePerSec)
+
+	for _, nw := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", nw), func(t *testing.T) {
+			co, err := inject.NewCoordinator(cfg, inject.DistConfig{LeaseSize: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(NewDistributor(co))
+			defer ts.Close()
+			url := ts.URL + "/v1/campaigns/" + co.Digest()
+
+			gate := &sync.Mutex{}
+			stats := make([]WorkerStats, nw)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			var wg sync.WaitGroup
+			wallStart := time.Now()
+			for i := 0; i < nw; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					st, err := RunWorker(ctx, WorkerOptions{
+						URL: url, Name: fmt.Sprintf("w%d", i), InjectWorkers: 1, gate: gate,
+					})
+					if err != nil {
+						t.Errorf("worker %d: %v", i, err)
+					}
+					stats[i] = st
+				}()
+			}
+			wg.Wait()
+			if err := co.WaitDone(nil); err != nil {
+				t.Fatal(err)
+			}
+			wall := time.Since(wallStart)
+			ds, _, err := co.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := ds.WriteCSV(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), refCSV.Bytes()) {
+				t.Fatal("distributed dataset differs from the single-machine run")
+			}
+
+			var maxBusy, sumBusy time.Duration
+			for i, st := range stats {
+				if st.Busy > maxBusy {
+					maxBusy = st.Busy
+				}
+				sumBusy += st.Busy
+				t.Logf("worker %d: %d spans, %d experiments, busy %v", i, st.Spans, st.Experiments, st.Busy.Round(time.Millisecond))
+			}
+			projected := float64(total) / maxBusy.Seconds()
+			measured := float64(total) / wall.Seconds()
+			t.Logf("workers=%d: wall %v (%.0f exp/s measured), max busy %v -> %.0f exp/s cluster-projected (%.2fx single-machine)",
+				nw, wall.Round(time.Millisecond), measured, maxBusy.Round(time.Millisecond), projected, projected/basePerSec)
+			t.Logf("%s: %s", "summary", co.Summary())
+		})
+	}
+}

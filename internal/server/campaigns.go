@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lockstep/internal/dataset"
 	"lockstep/internal/inject"
@@ -47,6 +47,18 @@ type campaignRequest struct {
 	// but pruning is schedule-relevant for resumption (it is part of the
 	// checkpoint fingerprint), so it is part of the job identity too.
 	NoPrune bool `json:"no_prune,omitempty"`
+	// Distribute runs the campaign as a distributed coordinator instead
+	// of executing it locally: the server leases plan-index spans to
+	// worker nodes over POST /v1/campaigns/{id}/leases and merges their
+	// span submissions. The dataset is byte-identical to a local run, so
+	// distribution is an execution knob, not part of the job identity.
+	Distribute bool `json:"distribute,omitempty"`
+	// LeaseSize overrides the coordinator's default span length
+	// (0 = the server's -lease-size).
+	LeaseSize int `json:"lease_size,omitempty"`
+	// LeaseTTLMS overrides how long (milliseconds) a worker holds an
+	// uncommitted lease before re-issue (0 = the server's -lease-ttl).
+	LeaseTTLMS int `json:"lease_ttl_ms,omitempty"`
 }
 
 // faultKinds maps the wire names onto lockstep fault kinds using the
@@ -100,6 +112,7 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 		{"injections_per_flop_kind", req.InjectionsPerFlopKind},
 		{"flop_stride", req.FlopStride}, {"stop_latency", req.StopLatency},
 		{"workers", req.Workers}, {"checkpoint_every", req.CheckpointEvery},
+		{"lease_size", req.LeaseSize}, {"lease_ttl_ms", req.LeaseTTLMS},
 	} {
 		if f.v < 0 {
 			return req, inject.Config{}, &apiError{Status: http.StatusBadRequest, Code: "invalid_config",
@@ -130,18 +143,15 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 // jobID derives the job's identity from the campaign's schedule
 // fingerprint: two submissions that would produce byte-identical
 // datasets are the same job, making submission idempotent and restart
-// adoption unambiguous.
+// adoption unambiguous. It is the same digest every distributed lease
+// and span message carries (inject.Fingerprint.Digest), so the job ID
+// doubles as the campaign's wire credential.
 func jobID(cfg inject.Config) (string, error) {
 	fp, err := cfg.Fingerprint()
 	if err != nil {
 		return "", err
 	}
-	blob, err := json.Marshal(fp)
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(blob)
-	return fmt.Sprintf("%x", sum[:8]), nil
+	return fp.Digest(), nil
 }
 
 // Job states.
@@ -192,11 +202,16 @@ type manifest struct {
 type jobManager struct {
 	dir        string
 	maxWorkers int
+	leaseSize  int
+	leaseTTL   time.Duration
 	reg        *telemetry.Registry
 
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string // submission order, for listing
+	// active maps a distributed job's ID to its live coordinator while
+	// the job runs; the lease/span endpoints dispatch into it.
+	active map[string]*inject.Coordinator
 
 	queue    chan *job
 	cancel   chan struct{}
@@ -211,8 +226,11 @@ func newJobManager(opt Options, reg *telemetry.Registry) (*jobManager, error) {
 	m := &jobManager{
 		dir:        opt.DataDir,
 		maxWorkers: opt.InjectWorkers,
+		leaseSize:  opt.LeaseSize,
+		leaseTTL:   opt.LeaseTTL,
 		reg:        reg,
 		jobs:       map[string]*job{},
+		active:     map[string]*inject.Coordinator{},
 		queue:      make(chan *job, opt.QueueDepth),
 		cancel:     make(chan struct{}),
 	}
@@ -334,6 +352,18 @@ func (m *jobManager) submit(req campaignRequest, cfg inject.Config) (*job, bool,
 	if err != nil {
 		return nil, false, configError(err)
 	}
+	// A checkpoint already sitting at this job's path must belong to this
+	// schedule: refuse the submission with the differing field (409
+	// config_mismatch) instead of queueing a job that would fail — or
+	// worse, resume foreign state — at run time. Unreadable checkpoints
+	// keep today's behavior and surface when the job runs.
+	if _, statErr := os.Stat(m.ckPath(id)); statErr == nil {
+		if ck, rerr := inject.ReadCheckpoint(m.ckPath(id)); rerr == nil {
+			if verr := ck.Validate(cfg, total); verr != nil {
+				return nil, false, configError(verr)
+			}
+		}
+	}
 	m.mu.Lock()
 	if j, ok := m.jobs[id]; ok {
 		m.mu.Unlock()
@@ -383,16 +413,22 @@ func (m *jobManager) worker() {
 // run executes one campaign job under the crash-safety machinery: always
 // checkpointed (so a drain or crash loses nothing), resumed when a
 // checkpoint already exists, and cancelable at an experiment boundary by
-// the manager's drain signal.
+// the manager's drain signal. Distributed jobs run a lease coordinator
+// instead of executing locally; either way the terminal handling — and
+// the resulting dataset bytes — are identical.
 func (m *jobManager) run(j *job) {
 	j.setState(stateRunning)
 	cfg := j.Cfg
 	cfg.CheckpointPath = m.ckPath(j.ID)
 	cfg.CheckpointEvery = j.Req.CheckpointEvery
-	cfg.Cancel = m.cancel
 	if _, err := os.Stat(cfg.CheckpointPath); err == nil {
 		cfg.Resume = true
 	}
+	if j.Req.Distribute {
+		m.runDistributed(j, cfg)
+		return
+	}
+	cfg.Cancel = m.cancel
 	total := j.Total
 	cfg.Progress = func(done, pending int) {
 		// done/pending cover only this run's remaining work; the
@@ -401,6 +437,55 @@ func (m *jobManager) run(j *job) {
 	}
 
 	ds, st, err := inject.RunStats(cfg)
+	m.finish(j, ds, st, err)
+}
+
+// runDistributed runs one campaign job as a lease coordinator: worker
+// nodes pull span leases and push completed spans over the campaign's
+// lease/span endpoints, and this server only merges and checkpoints. The
+// drain signal cancels it exactly like a local job — a final checkpoint
+// covers every merged span and a restart resumes the campaign.
+func (m *jobManager) runDistributed(j *job, cfg inject.Config) {
+	dc := inject.DistConfig{LeaseSize: m.leaseSize, LeaseTTL: m.leaseTTL}
+	if j.Req.LeaseSize > 0 {
+		dc.LeaseSize = j.Req.LeaseSize
+	}
+	if j.Req.LeaseTTLMS > 0 {
+		dc.LeaseTTL = time.Duration(j.Req.LeaseTTLMS) * time.Millisecond
+	}
+	co, err := inject.NewCoordinator(cfg, dc)
+	if err != nil {
+		m.finish(j, nil, inject.Stats{}, err)
+		return
+	}
+	done, _ := co.Progress()
+	j.done.Store(int64(done))
+	m.mu.Lock()
+	m.active[j.ID] = co
+	m.mu.Unlock()
+	err = co.WaitDone(m.cancel)
+	m.mu.Lock()
+	delete(m.active, j.ID)
+	m.mu.Unlock()
+	if err != nil {
+		m.finish(j, nil, co.Stats(), err)
+		return
+	}
+	ds, st, err := co.Result()
+	m.finish(j, ds, st, err)
+}
+
+// coordinator returns the live coordinator of a distributed job, if any.
+func (m *jobManager) coordinator(id string) *inject.Coordinator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.active[id]
+}
+
+// finish applies one campaign run's terminal transition: interrupted
+// (drained; resumes on restart), failed, or done with the dataset
+// persisted atomically.
+func (m *jobManager) finish(j *job, ds *dataset.Dataset, st inject.Stats, err error) {
 	switch {
 	case errors.Is(err, inject.ErrCanceled):
 		j.mu.Lock()
@@ -433,7 +518,7 @@ func (m *jobManager) run(j *job) {
 		} else {
 			j.state = stateDone
 			j.stats = st
-			j.done.Store(int64(total))
+			j.done.Store(int64(j.Total))
 		}
 		j.mu.Unlock()
 		m.writeManifest(j)

@@ -1,0 +1,228 @@
+// Distributed-campaign endpoints: span leases out, completed spans in.
+//
+// Two POST routes per campaign carry the whole protocol, with bodies in
+// the versioned inject wire codec (application/octet-stream):
+//
+//	POST /v1/campaigns/{id}/leases — LeaseRequest in, LeaseReply out
+//	POST /v1/campaigns/{id}/spans  — SpanSubmit in, SpanReply out
+//
+// {id} is the campaign's schedule-fingerprint digest, and every message
+// carries the digest again in its body: a worker joined to the wrong
+// campaign (or built against a different trace version) is refused with
+// 409 fingerprint_mismatch before it can touch the dataset. The same two
+// routes are served by any lockstep-serve running a distribute:true
+// campaign job, and by the standalone Distributor that backs
+// `lockstep-inject -distribute` — workers cannot tell the difference.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lockstep/internal/inject"
+)
+
+// Body limits for the distributed-campaign endpoints. A span submission
+// carries up to maxLeaseSpan records at ~30 encoded bytes each; 16 MiB
+// leaves generous headroom without letting a client stream arbitrarily.
+const (
+	maxLeaseBody = 4 << 10
+	maxSpanBody  = 16 << 20
+)
+
+// readWireBody reads a size-capped binary request body.
+func readWireBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad_request", "reading body: %v", err)
+	}
+	return body, nil
+}
+
+// writeWire renders a wire-encoded reply.
+func writeWire(w http.ResponseWriter, data []byte) error {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, err := w.Write(data)
+	return err
+}
+
+// serveLease runs one lease request against a live coordinator.
+func serveLease(co *inject.Coordinator, w http.ResponseWriter, r *http.Request) error {
+	body, err := readWireBody(w, r, maxLeaseBody)
+	if err != nil {
+		return err
+	}
+	req, err := inject.DecodeLeaseRequest(body)
+	if err != nil {
+		return injectAPIError(err)
+	}
+	reply, err := co.Acquire(req.Worker, req.Digest, req.Want)
+	if err != nil {
+		return injectAPIError(err)
+	}
+	data, err := reply.Encode()
+	if err != nil {
+		return err
+	}
+	return writeWire(w, data)
+}
+
+// serveSpan runs one span submission against a live coordinator and
+// reports the campaign-wide merged count after it.
+func serveSpan(co *inject.Coordinator, w http.ResponseWriter, r *http.Request) (int, error) {
+	body, err := readWireBody(w, r, maxSpanBody)
+	if err != nil {
+		return 0, err
+	}
+	sub, err := inject.DecodeSpanSubmit(body)
+	if err != nil {
+		return 0, injectAPIError(err)
+	}
+	reply, err := co.Commit(sub)
+	if err != nil {
+		return 0, injectAPIError(err)
+	}
+	return reply.Done, writeWire(w, reply.Encode())
+}
+
+// handleCampaignLease serves POST /v1/campaigns/{id}/leases.
+func (s *Server) handleCampaignLease(w http.ResponseWriter, r *http.Request) error {
+	j, err := s.lookupJob(r)
+	if err != nil {
+		return err
+	}
+	if co := s.jobs.coordinator(j.ID); co != nil {
+		return serveLease(co, w, r)
+	}
+	// No live coordinator: the job is done, not yet started, or not
+	// distributed at all. Authenticate the request digest against the
+	// job ID (they are the same fingerprint digest) and answer with a
+	// terminal or wait reply so late and early workers behave sanely.
+	body, err := readWireBody(w, r, maxLeaseBody)
+	if err != nil {
+		return err
+	}
+	req, err := inject.DecodeLeaseRequest(body)
+	if err != nil {
+		return injectAPIError(err)
+	}
+	if req.Digest != j.ID {
+		return injectAPIError(&inject.StaleFingerprintError{Got: req.Digest, Want: j.ID})
+	}
+	fp, err := j.Cfg.Fingerprint()
+	if err != nil {
+		return configError(err)
+	}
+	st := j.status()
+	reply := &inject.LeaseReply{Total: j.Total, Done: int(st.Done), FP: fp}
+	switch {
+	case st.State == stateDone:
+		reply.Status = inject.LeaseDone
+	case j.Req.Distribute && st.State != stateFailed:
+		// Queued or between adoption and coordinator start: ask the
+		// worker to retry shortly.
+		reply.Status = inject.LeaseWait
+		reply.Retry = 250 * time.Millisecond
+	default:
+		return &apiError{Status: http.StatusConflict, Code: "not_distributed",
+			Message: fmt.Sprintf("campaign %s is %s and not serving leases (submit it with distribute:true)", j.ID, st.State)}
+	}
+	data, err := reply.Encode()
+	if err != nil {
+		return err
+	}
+	return writeWire(w, data)
+}
+
+// handleCampaignSpan serves POST /v1/campaigns/{id}/spans.
+func (s *Server) handleCampaignSpan(w http.ResponseWriter, r *http.Request) error {
+	j, err := s.lookupJob(r)
+	if err != nil {
+		return err
+	}
+	if co := s.jobs.coordinator(j.ID); co != nil {
+		done, err := serveSpan(co, w, r)
+		if err == nil {
+			j.done.Store(int64(done))
+		}
+		return err
+	}
+	body, err := readWireBody(w, r, maxSpanBody)
+	if err != nil {
+		return err
+	}
+	sub, err := inject.DecodeSpanSubmit(body)
+	if err != nil {
+		return injectAPIError(err)
+	}
+	if sub.Digest != j.ID {
+		return injectAPIError(&inject.StaleFingerprintError{Got: sub.Digest, Want: j.ID})
+	}
+	if j.status().State == stateDone {
+		// The campaign finished without this span: it was re-issued and
+		// merged from another worker. Ack as the duplicate it is.
+		reply := &inject.SpanReply{Duplicate: true, Done: j.Total, Total: j.Total}
+		return writeWire(w, reply.Encode())
+	}
+	return &apiError{Status: http.StatusConflict, Code: "not_distributed",
+		Message: fmt.Sprintf("campaign %s has no live coordinator to accept spans", j.ID)}
+}
+
+// Distributor serves the distributed-campaign wire endpoints for exactly
+// one coordinator — the `lockstep-inject -distribute` topology, where a
+// campaign CLI is the coordinator and no full lockstep-serve exists. The
+// routes match lockstep-serve's byte for byte, so `lockstep-inject
+// -join` works identically against either.
+type Distributor struct {
+	co  *inject.Coordinator
+	mux *http.ServeMux
+}
+
+// NewDistributor builds the handler for co.
+func NewDistributor(co *inject.Coordinator) *Distributor {
+	d := &Distributor{co: co, mux: http.NewServeMux()}
+	d.mux.HandleFunc("POST /v1/campaigns/{id}/leases", d.wrap(func(w http.ResponseWriter, r *http.Request) error {
+		return serveLease(d.co, w, r)
+	}))
+	d.mux.HandleFunc("POST /v1/campaigns/{id}/spans", d.wrap(func(w http.ResponseWriter, r *http.Request) error {
+		_, err := serveSpan(d.co, w, r)
+		return err
+	}))
+	d.mux.HandleFunc("GET /v1/campaigns/{id}", d.wrap(func(w http.ResponseWriter, r *http.Request) error {
+		done, total := d.co.Progress()
+		state := stateRunning
+		if done == total {
+			state = stateDone
+		}
+		writeJSON(w, http.StatusOK, struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Done  int    `json:"done"`
+			Total int    `json:"total"`
+		}{d.co.Digest(), state, done, total})
+		return nil
+	}))
+	return d
+}
+
+// wrap checks the {id} path segment against the coordinator's campaign
+// and renders endpoint errors through the structured envelope.
+func (d *Distributor) wrap(h endpoint) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if id := r.PathValue("id"); id != d.co.Digest() {
+			writeError(w, &apiError{Status: http.StatusNotFound, Code: "unknown_job",
+				Message: fmt.Sprintf("this coordinator serves campaign %s, not %q", d.co.Digest(), id), Field: "id"})
+			return
+		}
+		if err := h(w, r); err != nil {
+			writeError(w, err)
+		}
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (d *Distributor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mux.ServeHTTP(w, r)
+}

@@ -30,13 +30,48 @@ func errf(status int, code, format string, args ...any) *apiError {
 }
 
 // configError maps a campaign config validation failure onto the API
-// error shape, preserving the typed inject.ConfigError's field name.
+// error shape, preserving the typed inject.ConfigError's field name. A
+// *inject.ConfigMismatchError — a submission or resume conflicting with
+// persisted campaign state — is a conflict, not a malformed request, and
+// keeps its differing-field name too.
 func configError(err error) *apiError {
+	var cme *inject.ConfigMismatchError
+	if errors.As(err, &cme) {
+		return &apiError{Status: http.StatusConflict, Code: "config_mismatch", Message: cme.Error(), Field: cme.Field}
+	}
 	var ce *inject.ConfigError
 	if errors.As(err, &ce) {
 		return &apiError{Status: http.StatusBadRequest, Code: "invalid_config", Message: ce.Error(), Field: ce.Field}
 	}
 	return errf(http.StatusBadRequest, "invalid_config", "%v", err)
+}
+
+// injectAPIError maps the typed errors of the distributed-campaign paths
+// onto the structured envelope with stable codes, so every rejection a
+// worker node can hit — wrong campaign, dead lease, conflicting config,
+// malformed message — is machine-distinguishable.
+func injectAPIError(err error) error {
+	var sfe *inject.StaleFingerprintError
+	if errors.As(err, &sfe) {
+		return &apiError{Status: http.StatusConflict, Code: "fingerprint_mismatch", Message: sfe.Error(), Field: "digest"}
+	}
+	var lee *inject.LeaseExpiredError
+	if errors.As(err, &lee) {
+		return &apiError{Status: http.StatusConflict, Code: "lease_expired", Message: lee.Error()}
+	}
+	var cme *inject.ConfigMismatchError
+	if errors.As(err, &cme) {
+		return configError(err)
+	}
+	var we *inject.WireError
+	if errors.As(err, &we) {
+		return &apiError{Status: http.StatusBadRequest, Code: "bad_request", Message: we.Error()}
+	}
+	var ce *inject.ConfigError
+	if errors.As(err, &ce) {
+		return configError(err)
+	}
+	return err
 }
 
 // writeJSON renders v with the given status. Encoding errors after the

@@ -69,6 +69,13 @@ type Options struct {
 	// MaxBatch bounds the DSR count of one predict request (default
 	// 1024); larger batches are answered 413 batch_too_large.
 	MaxBatch int
+	// LeaseSize is the default span length (in plan indices) of a
+	// distributed-campaign lease (default 512); a request's lease_size
+	// and a worker's preference override it per campaign / per lease.
+	LeaseSize int
+	// LeaseTTL is how long a worker holds an uncommitted span lease
+	// before the coordinator re-issues it (default 30s).
+	LeaseTTL time.Duration
 	// Registry receives the server's metrics (default telemetry.Default).
 	Registry *telemetry.Registry
 }
@@ -88,6 +95,12 @@ func (o *Options) normalize() {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
+	}
+	if o.LeaseSize <= 0 {
+		o.LeaseSize = 512
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
 	}
 	if o.Registry == nil {
 		o.Registry = telemetry.Default
@@ -156,6 +169,8 @@ func New(opt Options) (*Server, error) {
 	s.handle("GET /v1/campaigns", "campaign-list", s.handleCampaignList)
 	s.handle("GET /v1/campaigns/{id}", "campaign-status", s.handleCampaignStatus)
 	s.handle("GET /v1/campaigns/{id}/dataset", "campaign-dataset", s.handleCampaignDataset)
+	s.handle("POST /v1/campaigns/{id}/leases", "campaign-lease", s.handleCampaignLease)
+	s.handle("POST /v1/campaigns/{id}/spans", "campaign-span", s.handleCampaignSpan)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /v1/metrics", "metrics", s.handleMetrics)
 	return s, nil
