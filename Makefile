@@ -5,13 +5,14 @@
 # match the -no-prune one), the crash-safety check (kill/resume at any
 # point must reproduce the byte-identical dataset), the pruning
 # differential-oracle soundness gate, the telemetry concurrency tests
-# under -race, the injection and predict hot-path allocation guards, and
-# the serving-path SLO smoke.
+# under -race, the injection and predict hot-path allocation guards, the
+# hot-table-reload swap-atomicity and training-parity gate, and the
+# serving-path SLO smoke.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo distributed-bench cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo swap-determinism distributed-bench cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-slo
+ci: vet build race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke swap-determinism serve-slo
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +83,16 @@ server:
 serve-smoke:
 	$(GO) test -race -count=1 ./cmd/lockstep-serve/
 
+# The hot-table-reload contracts, explicitly and under -race: while a
+# writer hot-swaps table versions in a loop, every /v1/predict response
+# must be byte-identical to the render of exactly the table named by its
+# ETag (torn-read freedom of the atomic bundle swap); a table trained
+# server-side must be byte-identical to the offline lockstep-train
+# pipeline on the same dataset; and a restart must adopt the
+# last-activated version.
+swap-determinism:
+	$(GO) test -race -run 'TestSwapAtomicityUnderRace|TestTrainingParityWithOffline|TestTablesPersistenceAcrossRestart|TestCampaignTrainAndSwap' -count=1 ./internal/server/
+
 # Coverage report with per-package floors: internal/telemetry is the
 # observability backbone (>= 60%), internal/inject carries the campaign,
 # checkpoint, containment and distributed-coordination machinery
@@ -150,9 +161,10 @@ distributed-bench:
 
 # Short fuzz passes over the campaign-log parser, the checkpoint decoder,
 # the compacted golden-trace codec, the distributed-campaign wire codec
-# (all four lease/span messages through one harness), and the two
+# (all four lease/span messages through one harness), and the three
 # lockstep-serve request decoders (predict bodies through the full
-# endpoint, campaign submissions through the validation layer).
+# endpoint, campaign submissions and server-side training requests
+# through their validation layers).
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/dataset/
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/
@@ -160,3 +172,4 @@ fuzz:
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=30s ./internal/lockstep/
 	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=30s ./internal/server/
 	$(GO) test -fuzz=FuzzCampaignRequest -fuzztime=30s ./internal/server/
+	$(GO) test -fuzz=FuzzTablesRequest -fuzztime=30s ./internal/server/

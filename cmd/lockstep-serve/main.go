@@ -103,6 +103,7 @@ func run(opt server.Options, addr, tablePath string, tblAccess int64, metricsPat
 		fmt.Fprintf(errw, "lockstep-serve: loaded table %s (%s, %d sets, %d table bits)\n",
 			tablePath, table.Gran, table.Dict.Len(), table.TableBits())
 	}
+	opt.TableAccess = tblAccess
 	if pprofAddr != "" {
 		url, err := telemetry.ServeDebug(pprofAddr)
 		if err != nil {
@@ -124,8 +125,12 @@ func run(opt server.Options, addr, tablePath string, tblAccess int64, metricsPat
 	if opt.DataDir == "" {
 		fmt.Fprintln(errw, "lockstep-serve: campaign API disabled (no -data)")
 	}
-	if opt.Table == nil {
-		fmt.Fprintln(errw, "lockstep-serve: /v1/predict disabled (no -table)")
+	// The active version may differ from -table: a table activated in a
+	// previous run is persisted under -data and wins on restart.
+	if v := srv.TableVersion(); v != "" {
+		fmt.Fprintf(errw, "lockstep-serve: serving table version %s\n", v)
+	} else {
+		fmt.Fprintln(errw, "lockstep-serve: /v1/predict disabled until a table is loaded (use -table or POST /v1/tables)")
 	}
 
 	hs := &http.Server{Handler: srv}

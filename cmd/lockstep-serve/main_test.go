@@ -77,6 +77,18 @@ func writeTableImage(t *testing.T, path string) *core.Table {
 }
 
 var addrRe = regexp.MustCompile(`listening on (http://[^\s]+)`)
+var versionRe = regexp.MustCompile(`serving table version ([0-9a-f]{16})`)
+
+// servingVersion extracts the table version the binary logged at startup.
+func servingVersion(t *testing.T, p *clitest.Proc) string {
+	t.Helper()
+	out := p.WaitOutput("serving table version", 30*time.Second)
+	m := versionRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no serving-version line in output:\n%s", out)
+	}
+	return m[1]
+}
 
 // startServer launches lockstep-serve on a random port and returns its
 // base URL.
@@ -263,5 +275,102 @@ func TestServeSigtermMidJobResumes(t *testing.T) {
 	}
 	if got, want := []byte(ds["raw"].(string)), directCSV(t, stride); !bytes.Equal(got, want) {
 		t.Fatal("kill-and-restart dataset differs from uninterrupted direct run")
+	}
+}
+
+// TestServeTrainSwapAcrossRestart is the hot-table-reload contract
+// against the real binary: a campaign submitted with "train": true is
+// SIGTERMed mid-job before it can train; the restarted server serves the
+// old table while it resumes the job; on completion it trains from the
+// campaign's dataset and atomically swaps the new version in; and a
+// further restart — without the -table flag at all — adopts the trained
+// table as the persisted active version.
+func TestServeTrainSwapAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	img := filepath.Join(dir, "table.lspt")
+	writeTableImage(t, img)
+	dataDir := filepath.Join(dir, "jobs")
+	const stride = 2
+
+	p, base := startServer(t, "-data", dataDir, "-table", img)
+	v0 := servingVersion(t, p)
+
+	code, sub := httpJSON(t, "POST", base+"/v1/campaigns",
+		e2eJSON(stride, `,"checkpoint_every":8,"workers":2,"no_prune":true,"train":true,"train_granularity":13`))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	// Let the campaign make real progress, then SIGTERM well before it can
+	// finish and train.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		_, st := httpJSON(t, "GET", base+"/v1/campaigns/"+id, "")
+		if st["state"].(string) == "done" {
+			t.Skip("campaign finished before SIGTERM could land mid-job")
+		}
+		if st["done"].(float64) >= 16 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign never progressed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Signal(syscall.SIGTERM)
+	if res := p.Wait(); res.Code != 0 {
+		t.Fatalf("SIGTERM exit code %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+
+	// Restart: the old table keeps serving while the adopted job resumes —
+	// the startup log names the version before any swap can land.
+	p2, base2 := startServer(t, "-data", dataDir, "-table", img)
+	if got := servingVersion(t, p2); got != v0 {
+		t.Fatalf("restart serves version %s before training completed, want the old table %s", got, v0)
+	}
+
+	// The resumed job completes, trains from its own dataset, and swaps.
+	final := pollJob(t, base2, id, "done")
+	trained, _ := final["trained_table"].(string)
+	if trained == "" {
+		t.Fatalf("resumed train:true job finished without a trained table: %v", final)
+	}
+	if trained == v0 {
+		t.Fatal("trained version equals the startup version; the swap is unobservable")
+	}
+	code, hz := httpJSON(t, "GET", base2+"/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	hzTable := hz["table"].(map[string]any)
+	if hzTable["version"] != trained {
+		t.Fatalf("healthz serves %v after train-on-completion, want %s", hzTable["version"], trained)
+	}
+	code, list := httpJSON(t, "GET", base2+"/v1/tables", "")
+	if code != http.StatusOK || list["active"] != trained {
+		t.Fatalf("tables list: %d %v, want active %s", code, list, trained)
+	}
+	if n := len(list["tables"].([]any)); n < 2 {
+		t.Fatalf("tables list has %d versions, want both the startup and trained tables", n)
+	}
+	p2.Signal(syscall.SIGTERM)
+	if res := p2.Wait(); res.Code != 0 {
+		t.Fatalf("SIGTERM exit code %d\nstderr:\n%s", res.Code, res.Stderr)
+	}
+
+	// Final restart with no -table flag: the persisted activation alone
+	// decides what serves.
+	p3, base3 := startServer(t, "-data", dataDir)
+	if got := servingVersion(t, p3); got != trained {
+		t.Fatalf("tableless restart serves %s, want the trained table %s", got, trained)
+	}
+	code, pr := httpJSON(t, "POST", base3+"/v1/predict", `{"dsr":"8"}`)
+	if code != http.StatusOK || len(pr["predictions"].([]any)) != 1 {
+		t.Fatalf("predict after tableless restart: %d %v", code, pr)
+	}
+	p3.Signal(syscall.SIGTERM)
+	if res := p3.Wait(); res.Code != 0 {
+		t.Fatalf("SIGTERM exit code %d\nstderr:\n%s", res.Code, res.Stderr)
 	}
 }

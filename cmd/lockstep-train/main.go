@@ -64,9 +64,11 @@ func run(w io.Writer, dataPath string, granFlag, topK int, trainFrac float64, se
 		return err
 	}
 
+	// The shared training entrypoint: lockstep-serve's server-side
+	// training calls the same function, so a table trained online from
+	// this dataset is byte-identical to this CLI's output.
 	rng := rand.New(rand.NewSource(seed))
-	train, test := ds.Split(rng, trainFrac)
-	table := core.Train(train, gran, topK)
+	table, train, test := core.TrainSplit(ds, rng, gran, topK, trainFrac)
 
 	fmt.Fprintf(w, "trained %v\n", table)
 	fmt.Fprintf(w, "  training records: %d (%d detected)\n", train.Len(), train.Manifested().Len())

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"math/rand"
+
+	"lockstep/internal/dataset"
+)
+
+// TrainSplit is the one training entrypoint shared by every consumer of
+// the pipeline — the lockstep-train CLI and lockstep-serve's server-side
+// training (POST /v1/tables, campaign "train":true) both call it, which
+// is what makes a table trained online byte-identical to one trained
+// offline from the same dataset and parameters (the training-parity test
+// in internal/server holds them to it).
+//
+// The dataset is partitioned with dataset.Split under the caller's rng —
+// trainFrac 1 still runs the split (every record lands in the training
+// partition, in the split's shuffled order), so the interning order of
+// diverged-SC sets, and therefore the serialized table image, depends
+// only on (dataset, gran, topK, trainFrac, seed). The rng is advanced
+// exactly as a direct Split would advance it, so callers interleaving
+// further draws (lockstep-train's balanced held-out evaluation) are
+// unchanged.
+func TrainSplit(ds *dataset.Dataset, rng *rand.Rand, gran Granularity, topK int, trainFrac float64) (table *Table, train, test *dataset.Dataset) {
+	train, test = ds.Split(rng, trainFrac)
+	return Train(train, gran, topK), train, test
+}

@@ -137,14 +137,14 @@ func BenchmarkPredictE2E(b *testing.B) {
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
 			sc := &predictScratch{}
-			if _, _, err := s.predictBytes(ctx, sc, tc.body); err != nil {
+			if _, _, err := s.predictBytes(ctx, s.tables.current(), sc, tc.body); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(len(tc.body)))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := s.predictBytes(ctx, sc, tc.body); err != nil {
+				if _, _, err := s.predictBytes(ctx, s.tables.current(), sc, tc.body); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lockstep/internal/core"
 	"lockstep/internal/dataset"
 	"lockstep/internal/inject"
 	"lockstep/internal/lockstep"
@@ -59,6 +60,20 @@ type campaignRequest struct {
 	// LeaseTTLMS overrides how long (milliseconds) a worker holds an
 	// uncommitted lease before re-issue (0 = the server's -lease-ttl).
 	LeaseTTLMS int `json:"lease_ttl_ms,omitempty"`
+	// Train closes the campaign→train→serve loop in one submission: when
+	// the job completes, its dataset is run through the shared training
+	// pipeline (train_frac 1, split seed 1 — exactly what POST /v1/tables
+	// with defaults would do) and the resulting table version is
+	// atomically swapped into the predict path. Like workers, training is
+	// an execution knob: the dataset bytes and the job identity are
+	// unchanged, and a training failure is recorded on the job
+	// (train_error) without failing it.
+	Train bool `json:"train,omitempty"`
+	// TrainGranularity is the trained table's granularity: 7 (coarse) or
+	// 13 (fine); 0 means 7.
+	TrainGranularity int `json:"train_granularity,omitempty"`
+	// TrainTopK limits units stored per trained table entry (0 = all).
+	TrainTopK int `json:"train_topk,omitempty"`
 }
 
 // faultKinds maps the wire names onto lockstep fault kinds using the
@@ -113,11 +128,18 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 		{"flop_stride", req.FlopStride}, {"stop_latency", req.StopLatency},
 		{"workers", req.Workers}, {"checkpoint_every", req.CheckpointEvery},
 		{"lease_size", req.LeaseSize}, {"lease_ttl_ms", req.LeaseTTLMS},
+		{"train_topk", req.TrainTopK},
 	} {
 		if f.v < 0 {
 			return req, inject.Config{}, &apiError{Status: http.StatusBadRequest, Code: "invalid_config",
 				Message: fmt.Sprintf("%s must be non-negative", f.name), Field: f.name}
 		}
+	}
+	switch req.TrainGranularity {
+	case 0, 7, 13:
+	default:
+		return req, inject.Config{}, &apiError{Status: http.StatusBadRequest, Code: "invalid_config",
+			Message: fmt.Sprintf("train_granularity must be 7 or 13, not %d", req.TrainGranularity), Field: "train_granularity"}
 	}
 	cfg := inject.Config{
 		Kernels:               req.Kernels,
@@ -174,6 +196,12 @@ type job struct {
 	state  string
 	stats  inject.Stats
 	errMsg string
+	// trainedTable / trainErr record the outcome of a "train": true
+	// job's post-completion training: the swapped-in table version, or
+	// why training failed (the job itself still completes — its dataset
+	// is valid either way).
+	trainedTable string
+	trainErr     string
 
 	done atomic.Int64 // completed experiments, restored included
 }
@@ -189,12 +217,14 @@ func (j *job) setState(state string) {
 // manifest says queued (including drained ones) are re-queued when a
 // server adopts the directory.
 type manifest struct {
-	ID      string          `json:"id"`
-	Request campaignRequest `json:"request"`
-	Total   int             `json:"total"`
-	State   string          `json:"state"` // queued | done | failed
-	Stats   *inject.Stats   `json:"stats,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	ID           string          `json:"id"`
+	Request      campaignRequest `json:"request"`
+	Total        int             `json:"total"`
+	State        string          `json:"state"` // queued | done | failed
+	Stats        *inject.Stats   `json:"stats,omitempty"`
+	Error        string          `json:"error,omitempty"`
+	TrainedTable string          `json:"trained_table,omitempty"`
+	TrainError   string          `json:"train_error,omitempty"`
 }
 
 // jobManager owns the campaign worker pool and the DataDir layout:
@@ -205,6 +235,9 @@ type jobManager struct {
 	leaseSize  int
 	leaseTTL   time.Duration
 	reg        *telemetry.Registry
+	// tables receives the trained-and-swapped table of a "train": true
+	// job on completion.
+	tables *tableManager
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -219,7 +252,7 @@ type jobManager struct {
 	wg       sync.WaitGroup
 }
 
-func newJobManager(opt Options, reg *telemetry.Registry) (*jobManager, error) {
+func newJobManager(opt Options, reg *telemetry.Registry, tables *tableManager) (*jobManager, error) {
 	if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -229,6 +262,7 @@ func newJobManager(opt Options, reg *telemetry.Registry) (*jobManager, error) {
 		leaseSize:  opt.LeaseSize,
 		leaseTTL:   opt.LeaseTTL,
 		reg:        reg,
+		tables:     tables,
 		jobs:       map[string]*job{},
 		active:     map[string]*inject.Coordinator{},
 		queue:      make(chan *job, opt.QueueDepth),
@@ -272,6 +306,8 @@ func (m *jobManager) adopt() error {
 			j.stats = *mf.Stats
 		}
 		j.errMsg = mf.Error
+		j.trainedTable = mf.TrainedTable
+		j.trainErr = mf.TrainError
 		switch mf.State {
 		case stateDone:
 			j.done.Store(int64(mf.Total))
@@ -306,7 +342,8 @@ func (m *jobManager) mfPath(id string) string { return filepath.Join(m.dir, id+"
 // writeManifest atomically persists the job's manifest.
 func (m *jobManager) writeManifest(j *job) error {
 	j.mu.Lock()
-	mf := manifest{ID: j.ID, Request: j.Req, Total: j.Total, State: j.state, Error: j.errMsg}
+	mf := manifest{ID: j.ID, Request: j.Req, Total: j.Total, State: j.state, Error: j.errMsg,
+		TrainedTable: j.trainedTable, TrainError: j.trainErr}
 	// Drained jobs persist as queued so a restart re-runs them.
 	if mf.State == stateRunning || mf.State == stateInterrupted {
 		mf.State = stateQueued
@@ -511,6 +548,14 @@ func (m *jobManager) finish(j *job, ds *dataset.Dataset, st inject.Stats, err er
 		} else {
 			err = werr
 		}
+		// Train-on-completion runs after the dataset is persisted (it
+		// trains from the same CSV a client downloads) but before the
+		// done manifest is written: a crash mid-train leaves the job
+		// queued, so a restart resumes it from the full checkpoint,
+		// re-finishes, and trains again.
+		if err == nil && j.Req.Train {
+			m.trainJob(j)
+		}
 		j.mu.Lock()
 		if err != nil {
 			j.state = stateFailed
@@ -528,6 +573,36 @@ func (m *jobManager) finish(j *job, ds *dataset.Dataset, st inject.Stats, err er
 		}
 		m.reg.Counter("server.jobs", telemetry.L("event", event)).Inc()
 	}
+}
+
+// trainJob runs a "train": true job's post-completion training through
+// the shared pipeline against the job's persisted dataset — the exact
+// CSV a client downloads and lockstep-train would read offline — and
+// atomically swaps the resulting version into the predict path. The
+// outcome is recorded on the job: the swapped-in version, or the
+// training error (the job still completes; its dataset is valid).
+func (m *jobManager) trainJob(j *job) {
+	gran := core.Coarse7
+	if j.Req.TrainGranularity == 13 {
+		gran = core.Fine13
+	}
+	spec := trainSpec{gran: gran, topK: j.Req.TrainTopK, frac: 1, seed: 1}
+	b, err := m.tables.trainFromFile(m.dsPath(j.ID), spec, "campaign "+j.ID)
+	if err == nil {
+		_, err = m.tables.activate(b.version)
+	}
+	j.mu.Lock()
+	if err != nil {
+		j.trainErr = err.Error()
+	} else {
+		j.trainedTable = b.version
+	}
+	j.mu.Unlock()
+	event := "trained"
+	if err != nil {
+		event = "train_failed"
+	}
+	m.reg.Counter("server.jobs", telemetry.L("event", event)).Inc()
 }
 
 // drain stops accepting work, cancels running campaigns (they write a
@@ -573,22 +648,28 @@ type jobStatus struct {
 	Failures int             `json:"failures,omitempty"`
 	PerSec   float64         `json:"per_sec,omitempty"`
 	Error    string          `json:"error,omitempty"`
-	Request  campaignRequest `json:"request"`
+	// TrainedTable / TrainError report a "train": true job's
+	// post-completion training outcome.
+	TrainedTable string          `json:"trained_table,omitempty"`
+	TrainError   string          `json:"train_error,omitempty"`
+	Request      campaignRequest `json:"request"`
 }
 
 func (j *job) status() jobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobStatus{
-		ID:       j.ID,
-		State:    j.state,
-		Done:     j.done.Load(),
-		Total:    j.Total,
-		Restored: j.stats.Restored,
-		Failures: j.stats.Failures,
-		PerSec:   j.stats.PerSec,
-		Error:    j.errMsg,
-		Request:  j.Req,
+		ID:           j.ID,
+		State:        j.state,
+		Done:         j.done.Load(),
+		Total:        j.Total,
+		Restored:     j.stats.Restored,
+		Failures:     j.stats.Failures,
+		PerSec:       j.stats.PerSec,
+		Error:        j.errMsg,
+		TrainedTable: j.trainedTable,
+		TrainError:   j.trainErr,
+		Request:      j.Req,
 	}
 }
 

@@ -120,7 +120,7 @@ func TestPredictEndpointServesDenseBytes(t *testing.T) {
 	if rec.Code != 200 {
 		t.Fatalf("predict: %d %s", rec.Code, rec.Body.String())
 	}
-	want, err := s.dense.appendResponse(nil, []uint64{known, 0x3fffffffffffffff}, context.Background())
+	want, err := s.tables.current().dense.appendResponse(nil, []uint64{known, 0x3fffffffffffffff}, context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

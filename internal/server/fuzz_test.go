@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"lockstep/internal/core"
 )
 
 // FuzzPredictRequest drives arbitrary bodies through the full predict
@@ -43,6 +45,55 @@ func FuzzPredictRequest(f *testing.F) {
 		}
 		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "json") {
 			t.Fatalf("non-JSON response (%q) for %q", ct, body)
+		}
+	})
+}
+
+// FuzzTablesRequest fuzzes the server-side-training request decoder in
+// isolation — parseTablesRequest validates without reading a dataset or
+// training, so the fuzzer never runs the pipeline. Any input must either
+// resolve to a well-formed training spec (exactly one dataset source,
+// a real granularity, a usable split fraction) or produce a structured
+// 4xx *apiError; panics and non-apiError failures are bugs.
+func FuzzTablesRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"dataset_csv":"kernel,cycle"}`))
+	f.Add([]byte(`{"campaign":"0011223344556677"}`))
+	f.Add([]byte(`{"campaign":"a","dataset_csv":"b"}`))
+	f.Add([]byte(`{"dataset_csv":"x","granularity":13,"topk":3,"train_frac":0.8,"seed":5}`))
+	f.Add([]byte(`{"dataset_csv":"x","granularity":9}`))
+	f.Add([]byte(`{"dataset_csv":"x","topk":-1}`))
+	f.Add([]byte(`{"dataset_csv":"x","train_frac":1.5}`))
+	f.Add([]byte(`{"dataset_csv":"x","train_frac":-0.5}`))
+	f.Add([]byte(`{"campaign":"a","activate":false}`))
+	f.Add([]byte(`{"campaign":"a","seed":-9223372036854775808}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"dataset_csv":"x"} trailing`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, spec, err := parseTablesRequest(body)
+		if err != nil {
+			var ae *apiError
+			if !errors.As(err, &ae) {
+				t.Fatalf("non-structured error %T (%v) for %q", err, err, body)
+			}
+			if ae.Status < 400 || ae.Status > 499 {
+				t.Fatalf("error status %d for %q, want 4xx", ae.Status, body)
+			}
+			return
+		}
+		if (req.Campaign == "") == (req.DatasetCSV == "") {
+			t.Fatalf("accepted request without exactly one dataset source: %q", body)
+		}
+		if spec.gran != core.Coarse7 && spec.gran != core.Fine13 {
+			t.Fatalf("accepted granularity %v for %q", spec.gran, body)
+		}
+		if spec.topK < 0 {
+			t.Fatalf("accepted negative topk for %q", body)
+		}
+		if !(spec.frac > 0 && spec.frac <= 1) {
+			t.Fatalf("accepted train_frac %v for %q", spec.frac, body)
 		}
 	})
 }

@@ -37,10 +37,19 @@ type predictResponse struct {
 // plumbing does around this handler (TestPredictZeroAlloc holds the
 // handler-owned part at zero and the full round trip to a fixed
 // budget).
+//
+// The serving bundle is loaded from the table manager's atomic pointer
+// exactly once, here, and every byte of the response — including the
+// ETag, which carries the bundle's version digest — is rendered from
+// that one bundle. A hot swap between two requests changes which bundle
+// the next Load returns; it can never change (or mix) the one a request
+// in flight already holds. The swap-atomicity race test pins the
+// contract: under concurrent swaps, each response body must be
+// byte-identical to the render of exactly the table its ETag names.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
-	if s.dense == nil {
-		return errf(http.StatusServiceUnavailable, "table_not_loaded",
-			"no prediction table loaded (start lockstep-serve with -table)")
+	b, err := s.requireTable()
+	if err != nil {
+		return err
 	}
 	sc := getPredictScratch()
 	defer putPredictScratch(sc)
@@ -55,23 +64,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		return errf(http.StatusBadRequest, "bad_request", "reading body: %v", err)
 	}
 
-	out, n, err := s.predictBytes(r.Context(), sc, body)
+	out, n, err := s.predictBytes(r.Context(), b, sc, body)
 	if err != nil {
 		return err
 	}
 	s.predictions.Add(int64(n))
 	s.predictBatch.Observe(int64(n))
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", b.etag)
 	w.Write(out)
 	return nil
 }
 
 // predictBytes is the serving hot path minus HTTP plumbing: decode the
 // request body and render the response bytes out of sc's reusable
-// buffers, returning the rendered response and the batch size. It is the
-// unit BenchmarkPredictE2E and the lockstep-bench allocs/req probe
-// measure, and it performs zero heap allocations in steady state.
-func (s *Server) predictBytes(ctx context.Context, sc *predictScratch, body []byte) ([]byte, int, error) {
+// buffers against the caller's pinned bundle, returning the rendered
+// response and the batch size. It is the unit BenchmarkPredictE2E and
+// the lockstep-bench allocs/req probe measure, and it performs zero heap
+// allocations in steady state — the bundle indirection is a pointer
+// dereference, not a copy.
+func (s *Server) predictBytes(ctx context.Context, b *tableBundle, sc *predictScratch, body []byte) ([]byte, int, error) {
 	dsrs, err := parsePredictInto(body, sc.dsrs, s.opt.MaxBatch)
 	if dsrs != nil {
 		sc.dsrs = dsrs[:0]
@@ -79,7 +91,7 @@ func (s *Server) predictBytes(ctx context.Context, sc *predictScratch, body []by
 	if err != nil {
 		return nil, 0, err
 	}
-	out, err := s.dense.appendResponse(sc.out[:0], dsrs, ctx)
+	out, err := b.dense.appendResponse(sc.out[:0], dsrs, ctx)
 	sc.out = out[:0]
 	if err != nil {
 		return nil, 0, err
@@ -95,12 +107,13 @@ func (s *Server) predictBytes(ctx context.Context, sc *predictScratch, body []by
 // zero. The measurement mirrors testing.AllocsPerRun: warm up, pin to
 // one P, and average the mallocs delta over many runs.
 func (s *Server) PredictAllocsPerRun(body []byte) (float64, error) {
-	if s.dense == nil {
+	b := s.tables.current()
+	if b == nil {
 		return 0, fmt.Errorf("no prediction table loaded")
 	}
 	sc := &predictScratch{}
 	ctx := context.Background()
-	if _, _, err := s.predictBytes(ctx, sc, body); err != nil {
+	if _, _, err := s.predictBytes(ctx, b, sc, body); err != nil {
 		return 0, fmt.Errorf("probe body rejected: %w", err)
 	}
 
@@ -109,7 +122,7 @@ func (s *Server) PredictAllocsPerRun(body []byte) (float64, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for i := 0; i < runs; i++ {
-		s.predictBytes(ctx, sc, body)
+		s.predictBytes(ctx, b, sc, body)
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / runs, nil

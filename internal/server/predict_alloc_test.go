@@ -61,11 +61,11 @@ func TestPredictZeroAlloc(t *testing.T) {
 	for name, body := range bodies {
 		t.Run(name, func(t *testing.T) {
 			sc := &predictScratch{}
-			if _, _, err := s.predictBytes(ctx, sc, body); err != nil {
+			if _, _, err := s.predictBytes(ctx, s.tables.current(), sc, body); err != nil {
 				t.Fatal(err)
 			}
 			avg := testing.AllocsPerRun(200, func() {
-				if _, _, err := s.predictBytes(ctx, sc, body); err != nil {
+				if _, _, err := s.predictBytes(ctx, s.tables.current(), sc, body); err != nil {
 					panic(err)
 				}
 			})

@@ -36,14 +36,19 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Table is the trained prediction table /v1/predict serves. nil
-	// disables prediction (503 table_not_loaded) while the campaign API
-	// stays available.
+	// Table is the prediction table /v1/predict serves at startup; it
+	// becomes the first registered table version. nil starts the server
+	// with no active table (503 table_not_loaded) until one is trained
+	// via POST /v1/tables or adopted from DataDir; the campaign API stays
+	// available either way.
 	Table *core.Table
 	// SBIST is the latency environment used to name units and annotate
 	// predictions; zero value means sbist.NewConfig(table granularity,
 	// nil, OnChipTableAccess) when a table is present.
 	SBIST sbist.Config
+	// TableAccess is the prediction-table read latency (cycles) applied
+	// to tables trained server-side (default sbist.OnChipTableAccess).
+	TableAccess int64
 	// DataDir is where campaign jobs persist their manifest, checkpoint
 	// and dataset. Required for the campaign API; jobs found in it at
 	// startup are adopted (completed ones become downloadable, unfinished
@@ -105,8 +110,11 @@ func (o *Options) normalize() {
 	if o.Registry == nil {
 		o.Registry = telemetry.Default
 	}
+	if o.TableAccess <= 0 {
+		o.TableAccess = sbist.OnChipTableAccess
+	}
 	if o.Table != nil && o.SBIST.STL == nil {
-		o.SBIST = sbist.NewConfig(o.Table.Gran, nil, sbist.OnChipTableAccess)
+		o.SBIST = sbist.NewConfig(o.Table.Gran, nil, o.TableAccess)
 	}
 }
 
@@ -122,10 +130,11 @@ type Server struct {
 	inFlight  *telemetry.Gauge
 	throttled *telemetry.Counter
 
-	// dense is the precomputed serving form of Options.Table (nil when
-	// no table is loaded); predictions/predictBatch are its metric
-	// handles, hoisted out of the hot path.
-	dense        *denseTable
+	// tables owns the registry of immutable table bundles and the
+	// atomic.Pointer the predict path serves from; predictions/
+	// predictBatch are the predict metric handles, hoisted out of the
+	// hot path.
+	tables       *tableManager
 	predictions  *telemetry.Counter
 	predictBatch *telemetry.Histogram
 
@@ -148,17 +157,15 @@ func New(opt Options) (*Server, error) {
 		inFlight:  opt.Registry.Gauge("server.in_flight"),
 		throttled: opt.Registry.Counter("server.throttled"),
 	}
-	if opt.Table != nil {
-		dense, err := newDenseTable(opt.Table, opt.SBIST)
-		if err != nil {
-			return nil, fmt.Errorf("server: %w", err)
-		}
-		s.dense = dense
-		s.predictions = opt.Registry.Counter("server.predictions")
-		s.predictBatch = opt.Registry.Histogram("server.predict_batch", telemetry.PopBuckets)
+	s.predictions = opt.Registry.Counter("server.predictions")
+	s.predictBatch = opt.Registry.Histogram("server.predict_batch", telemetry.PopBuckets)
+	tables, err := newTableManager(opt)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
+	s.tables = tables
 	if opt.DataDir != "" {
-		jobs, err := newJobManager(opt, s.reg)
+		jobs, err := newJobManager(opt, s.reg, tables)
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
@@ -171,6 +178,9 @@ func New(opt Options) (*Server, error) {
 	s.handle("GET /v1/campaigns/{id}/dataset", "campaign-dataset", s.handleCampaignDataset)
 	s.handle("POST /v1/campaigns/{id}/leases", "campaign-lease", s.handleCampaignLease)
 	s.handle("POST /v1/campaigns/{id}/spans", "campaign-span", s.handleCampaignSpan)
+	s.handle("POST /v1/tables", "tables-create", s.handleTablesCreate)
+	s.handle("GET /v1/tables", "tables-list", s.handleTablesList)
+	s.handle("POST /v1/tables/{version}/activate", "tables-activate", s.handleTableActivate)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /v1/metrics", "metrics", s.handleMetrics)
 	return s, nil
@@ -257,14 +267,33 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.jobs.drain(ctx)
 }
 
-// handleHealthz reports liveness plus a one-line job census.
+// healthzTable is the serving-table summary healthz carries, so an
+// operator can verify which table version is live without a second call.
+type healthzTable struct {
+	Version     string `json:"version"`
+	Granularity string `json:"granularity"`
+	Sets        int    `json:"sets"`
+	Swaps       int64  `json:"swaps"`
+}
+
+// handleHealthz reports liveness plus a one-line job census and the live
+// table version (absent until a table has been activated).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	resp := struct {
-		OK   bool           `json:"ok"`
-		Jobs map[string]int `json:"jobs,omitempty"`
+		OK    bool           `json:"ok"`
+		Jobs  map[string]int `json:"jobs,omitempty"`
+		Table *healthzTable  `json:"table,omitempty"`
 	}{OK: true}
 	if s.jobs != nil {
 		resp.Jobs = s.jobs.census()
+	}
+	if b := s.tables.current(); b != nil {
+		resp.Table = &healthzTable{
+			Version:     b.version,
+			Granularity: b.table.Gran.String(),
+			Sets:        b.table.Dict.Len(),
+			Swaps:       s.tables.swaps.Value(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil

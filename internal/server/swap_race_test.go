@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// doRaw performs one in-process request and returns the raw recorder, for
+// tests that need exact response bytes and headers.
+func doRaw(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestSwapAtomicityUnderRace is the torn-read gate for hot table reload,
+// run under -race as `make swap-determinism`: N goroutines hammer
+// /v1/predict while a writer hot-swaps between two structurally
+// different table versions in a loop. Every response must be
+// byte-identical to the render of exactly the table named by its ETag —
+// never a mix of two versions — which is only possible if the handler
+// reads the bundle pointer exactly once and the bundle is immutable.
+func TestSwapAtomicityUnderRace(t *testing.T) {
+	ds, csv, _ := testFixture(t)
+	// In-memory table registry (no DataDir): swaps must not pay an fsync,
+	// and the race is about the pointer, not persistence.
+	s := newTestServer(t, func(o *Options) { o.DataDir = "" })
+	vCoarse := s.TableVersion()
+
+	// Second version: same dataset at fine granularity, so the two
+	// renders differ in geometry, PTARs and unit names.
+	rec := doRaw(s, "POST", "/v1/tables", `{"dataset_csv":`+jsonString(t, csv)+`,"granularity":13}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("train: %d %s", rec.Code, rec.Body.String())
+	}
+	var trained struct {
+		Table struct {
+			Version string `json:"version"`
+		} `json:"table"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &trained); err != nil {
+		t.Fatal(err)
+	}
+	vFine := trained.Table.Version
+
+	// A mixed batch — known DSRs plus an unobserved one — so a torn read
+	// would have many bytes to differ in.
+	var known uint64
+	for _, r := range ds.Records {
+		if r.Detected {
+			known = r.DSR
+			break
+		}
+	}
+	body := fmt.Sprintf(`{"dsrs":["%x","%x","3fffffffffffffff"]}`, known, known>>1)
+
+	// Golden render per version, captured while each is solo-active.
+	want := map[string]string{}
+	for _, v := range []string{vCoarse, vFine} {
+		if rec := doRaw(s, "POST", "/v1/tables/"+v+"/activate", ""); rec.Code != http.StatusOK {
+			t.Fatalf("activate %s: %d %s", v, rec.Code, rec.Body.String())
+		}
+		rec := doRaw(s, "POST", "/v1/predict", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("golden predict under %s: %d %s", v, rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("ETag"); got != `"`+v+`"` {
+			t.Fatalf("golden ETag %q under version %s", got, v)
+		}
+		want[`"`+v+`"`] = rec.Body.String()
+	}
+	if want[`"`+vCoarse+`"`] == want[`"`+vFine+`"`] {
+		t.Fatal("the two versions render identically; the race would prove nothing")
+	}
+
+	const readers = 8
+	// Each reader hammers until it has personally observed both versions
+	// mid-swap (the cap only bounds a broken test run).
+	const maxRequestsPerReader = 50000
+	var wg sync.WaitGroup
+
+	type verdict struct {
+		requests int
+		versions map[string]bool
+		err      string
+	}
+	verdicts := make([]verdict, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(v *verdict) {
+			defer wg.Done()
+			v.versions = map[string]bool{}
+			for n := 0; len(v.versions) < 2 && n < maxRequestsPerReader; n++ {
+				rec := doRaw(s, "POST", "/v1/predict", body)
+				if rec.Code != http.StatusOK {
+					v.err = fmt.Sprintf("predict answered %d mid-swap: %s", rec.Code, rec.Body.String())
+					return
+				}
+				etag := rec.Header().Get("ETag")
+				wantBody, ok := want[etag]
+				if !ok {
+					v.err = fmt.Sprintf("response carries unknown ETag %q", etag)
+					return
+				}
+				if got := rec.Body.String(); got != wantBody {
+					v.err = fmt.Sprintf("TORN READ: response under ETag %s is not that version's render\ngot:  %s\nwant: %s",
+						etag, got, wantBody)
+					return
+				}
+				v.versions[etag] = true
+				v.requests++
+			}
+		}(&verdicts[i])
+	}
+
+	// The writer swaps through the real endpoint — covering the full
+	// activate path, not just the pointer store — until every reader has
+	// finished its quota, so swaps land throughout the hammer.
+	readersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(readersDone)
+	}()
+	swaps := 0
+	for alive := true; alive; swaps++ {
+		select {
+		case <-readersDone:
+			alive = false
+		default:
+		}
+		v := vCoarse
+		if swaps%2 == 0 {
+			v = vFine
+		}
+		if rec := doRaw(s, "POST", "/v1/tables/"+v+"/activate", ""); rec.Code != http.StatusOK {
+			t.Fatalf("swap %d to %s: %d %s", swaps, v, rec.Code, rec.Body.String())
+		}
+	}
+
+	total := 0
+	for i := range verdicts {
+		if verdicts[i].err != "" {
+			t.Fatal(verdicts[i].err)
+		}
+		total += verdicts[i].requests
+		if len(verdicts[i].versions) != 2 {
+			t.Fatalf("reader %d observed %d version(s) in %d requests; the swap never landed mid-hammer",
+				i, len(verdicts[i].versions), verdicts[i].requests)
+		}
+	}
+	t.Logf("%d requests across %d readers while %d swaps ran; every body matched its ETag's render",
+		total, readers, swaps)
+}
