@@ -10,9 +10,9 @@
 # serving-path SLO smoke.
 GO ?= go
 
-.PHONY: ci vet build test race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo swap-determinism distributed-bench cover bench bench-quick fuzz
+.PHONY: ci vet build test race determinism resume-determinism distributed-determinism mode-determinism prune-soundness telemetry alloc server serve-smoke serve-bench serve-slo swap-determinism distributed-bench cover bench bench-quick fuzz
 
-ci: vet build race determinism resume-determinism distributed-determinism prune-soundness telemetry alloc server serve-smoke swap-determinism serve-slo
+ci: vet build race determinism resume-determinism distributed-determinism mode-determinism prune-soundness telemetry alloc server serve-smoke swap-determinism serve-slo
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,19 @@ distributed-determinism:
 	$(GO) test -race -run 'TestDistributedMatchesRun|TestLeaseKernelAffinity|TestLeaseExpiryReissue|TestDrainWorkers|TestCommitRejections|TestCoordinatorResume|TestSpanRunnerMatchesRun|TestFingerprintConfigRoundTrip|TestWireRoundTrips|TestWireRejects' -count=1 ./internal/inject/
 	$(GO) test -race -run 'TestDistributedCampaignMatchesDirect|TestDistributorMatchesDirect|TestDistributedEndpointErrors|TestDistributedRestartResume|TestSubmitForeignCheckpointRejected' -count=1 ./internal/server/
 	$(GO) test -run 'TestDistributedKillWorkerEquivalence|TestDistributeJoinExclusive' -count=1 ./cmd/lockstep-inject/
+
+# The lockstep-mode determinism gate: (a) a dcls campaign reproduces the
+# pre-mode binary's dataset bytes (pinned SHA-256) at one worker and at
+# all of them; (b) slip:0 equals dcls experiment for experiment; (c) the
+# slip and tmr fast paths (and mode-aware pruning) match the legacy
+# full-simulation oracles on a seeded >= 1% sample; (d) checkpoints,
+# leases and resume refuse cross-mode mixing with a named field, and the
+# whole axis round-trips over HTTP — submission, drain/resume,
+# train-and-swap, mode-stamped manifests/bundles/datasets.
+mode-determinism:
+	$(GO) test -run 'TestDCLSDatasetPinnedDigest|TestSlipZeroCampaignEquivalence|TestSlipConfigErrors|TestCrossModeDistributedRefusal|TestModeCampaignsDiffer|TestResumeConfigMismatch' -count=1 ./internal/inject/
+	$(GO) test -run 'TestParseModeRoundTrip|TestSlipZeroEquivalence|TestSlipMatchesLegacyOracle|TestTMRMatchesLegacyOracle|TestTMRDetectionEqualsDCLS|TestModePruneSoundness|TestSlipCheckerDelaysCompare' -count=1 ./internal/lockstep/
+	$(GO) test -race -run 'TestCampaignModeErrors|TestCampaignModesRoundTrip|TestSlipCampaignDrainResume' -count=1 ./internal/server/
 
 # The pruning soundness gate: every (kernel, fault kind) pair's pruned
 # sites are differentially re-simulated on the replay oracle at a >= 1%
@@ -100,11 +113,11 @@ swap-determinism:
 # distributed-campaign endpoints and worker client (>= 75%),
 # internal/loadgen generates the benchmark load whose determinism the
 # trajectory relies on (>= 70%), internal/lockstep carries the liveness
-# pruning, trace compaction and replay machinery (>= 75%).
+# pruning, trace compaction, replay and lockstep-mode machinery (>= 80%).
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -n 1
-	@for spec in internal/telemetry:60 internal/inject:80 internal/server:75 internal/loadgen:70 internal/lockstep:75; do \
+	@for spec in internal/telemetry:60 internal/inject:80 internal/server:75 internal/loadgen:70 internal/lockstep:80; do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: could not measure $$pkg coverage"; exit 1; fi; \
@@ -120,7 +133,7 @@ cover:
 # budget. Run without -race (the detector's instrumentation allocates;
 # the tests skip themselves there).
 alloc:
-	$(GO) test -run 'TestInjectReplayZeroAlloc' -count=1 ./internal/lockstep/
+	$(GO) test -run 'TestInjectReplayZeroAlloc|TestTMRZeroAlloc' -count=1 ./internal/lockstep/
 	$(GO) test -run 'TestPredictZeroAlloc' -count=1 ./internal/server/
 
 bench:
@@ -170,6 +183,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCheckpoint -fuzztime=30s ./internal/inject/
 	$(GO) test -fuzz=FuzzLeaseDecode -fuzztime=30s ./internal/inject/
 	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=30s ./internal/lockstep/
+	$(GO) test -fuzz=FuzzModeParse -fuzztime=30s ./internal/lockstep/
 	$(GO) test -fuzz=FuzzPredictRequest -fuzztime=30s ./internal/server/
 	$(GO) test -fuzz=FuzzCampaignRequest -fuzztime=30s ./internal/server/
 	$(GO) test -fuzz=FuzzTablesRequest -fuzztime=30s ./internal/server/

@@ -10,7 +10,7 @@
 //	                     [-html report.html] [-workers N] [-quiet]
 //	                     [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                     [-metrics snapshot.json] [-pprof addr]
-//	                     [-legacy-inject] [-no-prune]
+//	                     [-legacy-inject] [-no-prune] [-mode dcls|slip:N|tmr]
 //
 // The campaign shards across -workers parallel executors (default: all
 // CPUs). The dataset is bit-identical for every worker count, so -workers
@@ -47,6 +47,7 @@ import (
 	"lockstep/internal/dataset"
 	"lockstep/internal/experiments"
 	"lockstep/internal/inject"
+	"lockstep/internal/lockstep"
 	"lockstep/internal/report"
 	"lockstep/internal/sbist"
 	"lockstep/internal/telemetry"
@@ -69,6 +70,7 @@ type options struct {
 	workers    int
 	legacy     bool
 	noPrune    bool
+	mode       string
 	quiet      bool
 }
 
@@ -85,6 +87,7 @@ func main() {
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.BoolVar(&o.legacy, "legacy-inject", false, "use the legacy dual-CPU simulation instead of golden-trace replay (same dataset, ~2x slower)")
 	flag.BoolVar(&o.noPrune, "no-prune", false, "disable static fault-equivalence pruning (same dataset, slower; the differential-oracle path)")
+	flag.StringVar(&o.mode, "mode", "dcls", "lockstep mode the campaign runs under: dcls, slip:N or tmr")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "periodically write an atomic resumable campaign checkpoint to this path")
 	flag.IntVar(&o.ckptEvery, "checkpoint-every", 0, "completed experiments between checkpoint writes (0 = default 4096)")
 	flag.BoolVar(&o.resume, "resume", false, "resume the campaign from -checkpoint; refuses on a corrupt checkpoint or config mismatch")
@@ -116,6 +119,9 @@ func run(o options) error {
 	}
 	scale.Legacy = o.legacy
 	scale.NoPrune = o.noPrune
+	if scale.Mode, err = lockstep.ParseMode(o.mode); err != nil {
+		return err
+	}
 	scale.Checkpoint = o.checkpoint
 	scale.CheckpointEvery = o.ckptEvery
 	scale.Resume = o.resume

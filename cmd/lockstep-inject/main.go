@@ -8,6 +8,7 @@
 //
 //	lockstep-inject [-o campaign.csv] [-kernels a,b] [-cycles N]
 //	                [-stride N] [-inj N] [-seed N] [-workers N] [-summary]
+//	                [-mode dcls|slip:N|tmr]
 //	                [-checkpoint ck.lsc] [-checkpoint-every N] [-resume]
 //	                [-metrics snapshot.json] [-pprof addr] [-legacy-inject]
 //	                [-no-prune]
@@ -62,6 +63,7 @@ import (
 	"time"
 
 	"lockstep/internal/inject"
+	"lockstep/internal/lockstep"
 	"lockstep/internal/server"
 	"lockstep/internal/stats"
 	"lockstep/internal/telemetry"
@@ -75,6 +77,7 @@ func main() {
 		stride    = flag.Int("stride", 1, "inject every Nth flip-flop")
 		perKind   = flag.Int("inj", 1, "injections per (flop, fault kind, kernel)")
 		seed      = flag.Int64("seed", 1, "campaign seed")
+		mode      = flag.String("mode", "dcls", "lockstep mode: dcls, slip:N (redundant CPU N cycles behind) or tmr (voted triple with forward recovery)")
 		workers   = flag.Int("workers", 0, "parallel experiment workers (0 = all CPUs)")
 		summary   = flag.Bool("summary", true, "print a campaign summary to stderr")
 		metrics   = flag.String("metrics", "", "write the telemetry JSON snapshot to this path after the run")
@@ -93,6 +96,11 @@ func main() {
 	)
 	flag.Parse()
 
+	lsMode, err := lockstep.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockstep-inject:", err)
+		os.Exit(1)
+	}
 	cfg := inject.Config{
 		RunCycles:             *cycles,
 		Intervals:             64,
@@ -102,6 +110,7 @@ func main() {
 		Workers:               *workers,
 		Legacy:                *legacy,
 		NoPrune:               *noPrune,
+		Mode:                  lsMode,
 		CheckpointPath:        *ckpt,
 		CheckpointEvery:       *ckEvery,
 		Resume:                *resume,
@@ -120,7 +129,6 @@ func main() {
 		}
 	}
 
-	var err error
 	switch {
 	case *distribute != "" && *join != "":
 		err = fmt.Errorf("-distribute and -join are mutually exclusive (a process is either the coordinator or a worker)")

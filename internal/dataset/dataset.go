@@ -30,6 +30,11 @@ type Record struct {
 	DSR         uint64
 	Converged   bool // soft fault provably masked before the horizon
 	Failed      bool // experiment aborted by the campaign harness (panic/budget)
+	// Mode is the lockstep organization the experiment ran under. The
+	// zero value (DCLS) serializes to nothing: dcls rows keep the
+	// pre-mode 11-field layout byte for byte, so dcls datasets and
+	// checkpoints are bit-identical to those of pre-mode builds.
+	Mode lockstep.Mode
 }
 
 // Hard reports whether the injected fault was permanent.
@@ -218,26 +223,38 @@ func (d *Dataset) DistinctDSRs() int {
 
 // ---- serialization -------------------------------------------------------
 
-// csvHeader is the on-disk column layout.
+// csvHeader is the on-disk column layout. Datasets carrying any non-DCLS
+// record append the optional 12th "mode" column (csvHeaderMode); pure
+// dcls datasets keep the original layout so their bytes are stable
+// across the introduction of lockstep modes.
 const csvHeader = "kernel,flop,unit,fine,kind,inject,detected,detect,dsr,converged,failed"
+
+// csvHeaderMode is the extended header of mode-bearing datasets.
+const csvHeaderMode = csvHeader + ",mode"
 
 // MarshalCSV renders one record as a CSV row (no trailing newline), the
 // exact line WriteCSV emits for it. It is exported so partial logs — e.g.
 // the campaign checkpoint files of internal/inject — serialize records in
-// the same stable format as full datasets.
+// the same stable format as full datasets. A non-DCLS record appends the
+// mode as a 12th field; dcls rows are byte-identical to pre-mode builds.
 func (r Record) MarshalCSV() string {
-	return fmt.Sprintf("%s,%d,%d,%d,%d,%d,%t,%d,%x,%t,%t",
+	row := fmt.Sprintf("%s,%d,%d,%d,%d,%d,%t,%d,%x,%t,%t",
 		r.Kernel, r.Flop, r.Unit, r.Fine, r.Kind, r.InjectCycle,
 		r.Detected, r.DetectCycle, r.DSR, r.Converged, r.Failed)
+	if r.Mode != (lockstep.Mode{}) {
+		row += "," + r.Mode.String()
+	}
+	return row
 }
 
-// ParseRecord parses one MarshalCSV row. It is the single row decoder:
-// ReadCSV and the checkpoint reader of internal/inject both funnel through
-// it, so the two on-disk formats cannot drift apart.
+// ParseRecord parses one MarshalCSV row — 11 fields, or 12 when the row
+// carries a lockstep mode. It is the single row decoder: ReadCSV and the
+// checkpoint reader of internal/inject both funnel through it, so the two
+// on-disk formats cannot drift apart.
 func ParseRecord(text string) (Record, error) {
 	f := strings.Split(text, ",")
-	if len(f) != 11 {
-		return Record{}, fmt.Errorf("%d fields, want 11", len(f))
+	if len(f) != 11 && len(f) != 12 {
+		return Record{}, fmt.Errorf("%d fields, want 11 or 12", len(f))
 	}
 	var rec Record
 	rec.Kernel = f[0]
@@ -278,13 +295,43 @@ func ParseRecord(text string) (Record, error) {
 	if rec.Failed, err = strconv.ParseBool(f[10]); err != nil {
 		return Record{}, fmt.Errorf("failed: %w", err)
 	}
+	if len(f) == 12 {
+		if rec.Mode, err = lockstep.ParseMode(f[11]); err != nil {
+			return Record{}, fmt.Errorf("mode: %w", err)
+		}
+	}
 	return rec, nil
 }
 
-// WriteCSV streams the dataset in a stable text format.
+// Mode returns the single lockstep mode every record of the dataset ran
+// under (DCLS for an empty dataset). A dataset mixing modes is rejected:
+// the predictor tables trained from a dataset are mode-specific, so the
+// training and serving layers must be able to pin one mode per dataset.
+func (d *Dataset) Mode() (lockstep.Mode, error) {
+	var mode lockstep.Mode
+	for i, r := range d.Records {
+		if i == 0 {
+			mode = r.Mode
+		} else if r.Mode != mode {
+			return lockstep.Mode{}, fmt.Errorf("dataset: mixed lockstep modes (%s and %s)", mode, r.Mode)
+		}
+	}
+	return mode, nil
+}
+
+// WriteCSV streams the dataset in a stable text format. The header gains
+// the mode column exactly when some record carries a non-DCLS mode, so
+// dcls datasets remain byte-identical to pre-mode builds.
 func (d *Dataset) WriteCSV(w io.Writer) error {
+	header := csvHeader
+	for _, r := range d.Records {
+		if r.Mode != (lockstep.Mode{}) {
+			header = csvHeaderMode
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, csvHeader); err != nil {
+	if _, err := fmt.Fprintln(bw, header); err != nil {
 		return err
 	}
 	for _, r := range d.Records {
@@ -305,7 +352,7 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if line == 1 {
-			if text != csvHeader {
+			if text != csvHeader && text != csvHeaderMode {
 				return nil, fmt.Errorf("dataset: bad header %q", text)
 			}
 			continue

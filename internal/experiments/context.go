@@ -14,6 +14,7 @@ import (
 
 	"lockstep/internal/dataset"
 	"lockstep/internal/inject"
+	"lockstep/internal/lockstep"
 	"lockstep/internal/workload"
 )
 
@@ -31,6 +32,11 @@ type Scale struct {
 	Workers        int  // campaign worker pool; 0 = runtime.NumCPU()
 	Legacy         bool // dual-CPU oracle instead of golden-trace replay
 	NoPrune        bool // disable static fault-equivalence pruning (same dataset, slower)
+	// Mode is the lockstep organization the campaign sweeps (dcls,
+	// slip:N or tmr) — a first-class experiment dimension: the same
+	// injection plan re-run per mode answers whether the DSR->PTAR
+	// correlation survives temporal slip and voting.
+	Mode lockstep.Mode
 
 	// Checkpoint, when non-empty, makes the campaign periodically persist
 	// an atomic resumable checkpoint there (every CheckpointEvery
@@ -106,6 +112,7 @@ func (s Scale) Config() inject.Config {
 		Workers:               s.Workers,
 		Legacy:                s.Legacy,
 		NoPrune:               s.NoPrune,
+		Mode:                  s.Mode,
 		CheckpointPath:        s.Checkpoint,
 		CheckpointEvery:       s.CheckpointEvery,
 		Resume:                s.Resume,

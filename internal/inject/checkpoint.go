@@ -92,6 +92,13 @@ type Fingerprint struct {
 	// generation (lockstep.TraceVersion) the campaign ran under. Old
 	// checkpoints decode it as 0 and refuse to resume on a newer build.
 	TraceVersion int `json:"trace_version"`
+	// Mode is the canonical lockstep.Mode spelling ("slip:N", "tmr"),
+	// empty for DCLS: pre-mode checkpoints decode as "", so they resume
+	// under dcls configs exactly as before, and dcls digests — the
+	// lockstep-serve job IDs — are unchanged by the mode axis. A
+	// cross-mode resume or lease is refused with
+	// ConfigMismatchError{Field: "Mode"}.
+	Mode string `json:"mode,omitempty"`
 }
 
 // fingerprint derives the schedule fingerprint of a normalized config.
@@ -103,6 +110,10 @@ func (c Config) fingerprint() Fingerprint {
 	window := c.StopLatency
 	if window <= 0 {
 		window = lockstep.StopLatency
+	}
+	mode := ""
+	if c.Mode != (lockstep.Mode{}) {
+		mode = c.Mode.String()
 	}
 	return Fingerprint{
 		Kernels:               append([]string(nil), c.Kernels...),
@@ -116,6 +127,7 @@ func (c Config) fingerprint() Fingerprint {
 		Legacy:                c.Legacy,
 		NoPrune:               c.NoPrune,
 		TraceVersion:          lockstep.TraceVersion,
+		Mode:                  mode,
 	}
 }
 

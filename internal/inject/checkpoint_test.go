@@ -98,6 +98,10 @@ func TestResumeConfigMismatch(t *testing.T) {
 		// no trace_version at all, which decodes as 0) must refuse on this
 		// build rather than mix analyses within one dataset.
 		{field: "TraceVersion", mutateCk: func(fp *Fingerprint) { fp.TraceVersion = lockstep.TraceVersion - 1 }},
+		// A dcls checkpoint must refuse to resume under any other lockstep
+		// mode (and vice versa): outcomes are mode-specific, so a silent
+		// cross-mode mix would poison the dataset.
+		{field: "Mode", mutate: func(c *Config) { c.Mode = lockstep.Mode{Kind: lockstep.ModeSlip, Slip: 3} }},
 	}
 	// The table must cover the whole fingerprint, so a future field cannot
 	// ship without a refusal test.

@@ -694,6 +694,10 @@ func (f Fingerprint) Config() (Config, error) {
 			return Config{}, fmt.Errorf("inject: fingerprint names unknown kernel %q", name)
 		}
 	}
+	mode, err := lockstep.ParseMode(f.Mode)
+	if err != nil {
+		return Config{}, fmt.Errorf("inject: fingerprint mode: %w", err)
+	}
 	return Config{
 		Kernels:               append([]string(nil), f.Kernels...),
 		RunCycles:             f.RunCycles,
@@ -705,6 +709,7 @@ func (f Fingerprint) Config() (Config, error) {
 		Seed:                  f.Seed,
 		Legacy:                f.Legacy,
 		NoPrune:               f.NoPrune,
+		Mode:                  mode,
 	}, nil
 }
 
@@ -815,7 +820,7 @@ func (r *SpanRunner) Run(sp Span) ([]dataset.Record, SpanStats, error) {
 		oracleExpect = make(map[int]lockstep.Outcome)
 		for i := sp.Lo; i < sp.Hi; i++ {
 			e := r.plan[i]
-			out, ok := r.goldens[e.Kernel].Prune(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle})
+			out, ok := r.goldens[e.Kernel].PruneMode(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}, r.cfg.Mode)
 			if !ok {
 				pending = append(pending, i)
 				continue
@@ -826,7 +831,7 @@ func (r *SpanRunner) Run(sp Span) ([]dataset.Record, SpanStats, error) {
 				pending = append(pending, i)
 				continue
 			}
-			records[i-sp.Lo] = recordFor(e, out)
+			records[i-sp.Lo] = recordFor(e, out, r.cfg.Mode)
 			r.tel.record(e, out)
 			st.Pruned++
 		}
@@ -872,7 +877,7 @@ func (r *SpanRunner) Run(sp Span) ([]dataset.Record, SpanStats, error) {
 						close(abort)
 					})
 				}
-				records[idx-sp.Lo] = recordFor(e, out)
+				records[idx-sp.Lo] = recordFor(e, out, r.cfg.Mode)
 				r.tel.record(e, out)
 			}
 		}()

@@ -52,6 +52,31 @@ func FuzzReadCheckpoint(f *testing.F) {
 	f.Add(reseal([]byte("lockstep-checkpoint v1\n")))
 	f.Add([]byte("crc 00000000\n"))
 	f.Add([]byte("garbage\ncrc deadbeef\n"))
+	// ...and a mode-bearing checkpoint (slip fingerprint, 12-column
+	// records) plus a reseal that corrupts its mode string, so the fuzzer
+	// starts from both sides of the mode axis.
+	slipCfg := ckConfig()
+	slipCfg.Mode = lockstep.Mode{Kind: lockstep.ModeSlip, Slip: 9}
+	if err := (&slipCfg).normalize(); err != nil {
+		f.Fatal(err)
+	}
+	slipCk := &Checkpoint{
+		FP:    slipCfg.fingerprint(),
+		Total: 8,
+		Done:  []Span{{0, 1}},
+		Records: []dataset.Record{
+			{Kernel: "ttsprk", Flop: 1, Kind: lockstep.SoftFlip, InjectCycle: 7,
+				Detected: true, DetectCycle: 18, DSR: 3, Mode: slipCfg.Mode},
+		},
+	}
+	var slipBuf bytes.Buffer
+	if err := slipCk.Encode(&slipBuf); err != nil {
+		f.Fatal(err)
+	}
+	slipValid := slipBuf.Bytes()
+	f.Add(append([]byte(nil), slipValid...))
+	f.Add(reseal(bytes.Replace(slipValid, []byte("slip:9"), []byte("slip:bogus"), 1)))
+	f.Add(reseal(bytes.Replace(slipValid, []byte("slip:9"), []byte("tmr"), 1)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ck, err := DecodeCheckpoint(bytes.NewReader(data))

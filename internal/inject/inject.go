@@ -87,6 +87,14 @@ type Config struct {
 	StopLatency int
 	// Seed makes the campaign reproducible.
 	Seed int64
+	// Mode selects the lockstep organization experiments run under: DCLS
+	// (the zero value, the paper's baseline), temporal-slip ("slip:N",
+	// the redundant CPU staggered N cycles behind the main) or TMR
+	// (majority voter with forward recovery). The injection plan is
+	// mode-independent — the same (flop, kind, cycle) schedule runs under
+	// every mode — so mode is a pure campaign axis; it participates in
+	// the fingerprint, the checkpoint and the dataset rows.
+	Mode lockstep.Mode
 	// Workers is the number of parallel experiment executors; 0 or
 	// negative means runtime.NumCPU(). The resulting dataset is identical
 	// for every worker count (the plan fixes each experiment's schedule
@@ -202,6 +210,22 @@ func (c *Config) normalize() error {
 	}
 	if c.Resume && c.CheckpointPath == "" {
 		return &ConfigError{Field: "Resume", Reason: "requires CheckpointPath"}
+	}
+	switch c.Mode.Kind {
+	case lockstep.ModeDCLS, lockstep.ModeTMR:
+		if c.Mode.Slip != 0 {
+			return &ConfigError{Field: "Slip", Reason: fmt.Sprintf("slip count %d requires slip mode", c.Mode.Slip)}
+		}
+	case lockstep.ModeSlip:
+		if c.Mode.Slip < 0 {
+			return &ConfigError{Field: "Slip", Reason: fmt.Sprintf("negative slip %d", c.Mode.Slip)}
+		}
+		if c.Mode.Slip >= c.RunCycles {
+			return &ConfigError{Field: "Slip", Reason: fmt.Sprintf(
+				"slip %d leaves no compare horizon within the %d-cycle run", c.Mode.Slip, c.RunCycles)}
+		}
+	default:
+		return &ConfigError{Field: "Mode", Reason: fmt.Sprintf("unknown mode kind %d", c.Mode.Kind)}
 	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []lockstep.FaultKind{lockstep.SoftFlip, lockstep.Stuck0, lockstep.Stuck1}
@@ -400,7 +424,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 		remaining := pending[:0]
 		for _, idx := range pending {
 			e := plan[idx]
-			out, ok := goldens[e.Kernel].Prune(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle})
+			out, ok := goldens[e.Kernel].PruneMode(lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}, cfg.Mode)
 			if !ok {
 				remaining = append(remaining, idx)
 				continue
@@ -411,7 +435,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 				remaining = append(remaining, idx)
 				continue
 			}
-			records[idx] = recordFor(e, out)
+			records[idx] = recordFor(e, out, cfg.Mode)
 			tel.record(e, out)
 			prunedN++
 			if done != nil {
@@ -472,7 +496,7 @@ func RunStats(cfg Config) (*dataset.Dataset, Stats, error) {
 						close(abort)
 					})
 				}
-				records[idx] = recordFor(e, out)
+				records[idx] = recordFor(e, out, cfg.Mode)
 				tel.record(e, out)
 				executed.Add(1)
 				if done != nil {
@@ -538,7 +562,7 @@ feed:
 // recordFor renders one experiment's outcome as its dataset row; the
 // statically-pruned path and the simulating workers must produce rows
 // through the same function so pruning can never skew the dataset format.
-func recordFor(e Experiment, out lockstep.Outcome) dataset.Record {
+func recordFor(e Experiment, out lockstep.Outcome, mode lockstep.Mode) dataset.Record {
 	return dataset.Record{
 		Kernel:      e.Kernel,
 		Flop:        e.Flop,
@@ -551,6 +575,7 @@ func recordFor(e Experiment, out lockstep.Outcome) dataset.Record {
 		DSR:         out.DSR,
 		Converged:   out.Converged,
 		Failed:      out.Failed,
+		Mode:        mode,
 	}
 }
 
@@ -649,9 +674,9 @@ func (w *worker) once(e Experiment, rep *lockstep.Replayer) (out lockstep.Outcom
 	}
 	inj := lockstep.Injection{Flop: e.Flop, Kind: e.Kind, Cycle: e.Cycle}
 	if w.cfg.Legacy {
-		return w.goldens[e.Kernel].InjectLegacyW(inj, w.window), false
+		return w.goldens[e.Kernel].InjectLegacyMode(inj, w.cfg.Mode, w.window), false
 	}
-	return rep.InjectW(w.goldens[e.Kernel], inj, w.window), false
+	return rep.InjectMode(w.goldens[e.Kernel], inj, w.cfg.Mode, w.window), false
 }
 
 // checkpointer owns the campaign's checkpoint file. Workers only flip

@@ -1,0 +1,318 @@
+package lockstep
+
+import (
+	"lockstep/internal/cpu"
+	"lockstep/internal/mem"
+)
+
+// This file is the mode dispatch layer of the injection harness: one
+// entry point per execution path (replay fast path, full-simulation
+// oracle, static pruning) that specializes the DCLS machinery to a
+// lockstep Mode.
+//
+// # Slip
+//
+// Injection plans are enumerated in program space (the cycle counter of
+// the golden run), so a plan is identical across modes. Under slip:N the
+// redundant CPU executes program cycle c at wall cycle c+N while the main
+// CPU is always fault-free — which means the redundant CPU's environment
+// in program space IS the DCLS environment. A slip run is therefore the
+// DCLS replay with two parameters moved: the compare horizon shrinks to
+// TotalCycles-N (the checker has seen only that many delayed program
+// cycles when the campaign horizon arrives; injections at or past it are
+// masked by construction), and detection cycles shift by +N into the
+// wall clock. slip:0 is DCLS by construction, which the mode-determinism
+// gate asserts experiment-for-experiment.
+//
+// # TMR
+//
+// The campaign faults a single CPU, and the convention here is CPU 2 — a
+// compare-only monitor. CPU 0 (the bus driver) and CPU 1 stay golden and
+// bit-identical, so the voter's pairwise d01 is always zero, the erring
+// CPU is always identified, and the voted DSR d02 is exactly the DCLS
+// checker's Diverge(golden, faulty): TMR detection outcomes equal DCLS
+// outcomes, and the fast path reuses the replay core for them. What TMR
+// adds is forward recovery (Section II): after the stop window the
+// majority architectural state is restored into every core and execution
+// resumes. Outcome.Converged on a Detected TMR outcome reports whether
+// that recovery held — the cores stayed in lockstep through a
+// TMRRecheckCycles recheck — distinguishing recoverable transients from
+// permanent faults that re-diverge immediately.
+
+// TMRRecheckCycles is the post-recovery observation window: after a TMR
+// forward recovery the voter watches this many cycles for a re-divergence
+// before declaring the recovery successful. It comfortably covers the
+// pipeline refill plus several instructions, so a stuck-at fault on any
+// flop observed in steady state re-diverges within it.
+const TMRRecheckCycles = 64
+
+// InjectMode runs one experiment under the given lockstep mode on the
+// fast path, using this Replayer's scratch. DCLS and slip:N run entirely
+// on the golden-trace replay core; TMR runs detection on the replay core
+// and, for detected hard faults, simulates the forward-recovery recheck
+// live (post-recovery execution leaves the golden trace, so it cannot be
+// replayed).
+func (r *Replayer) InjectMode(g *Golden, inj Injection, mode Mode, window int) Outcome {
+	switch mode.Kind {
+	case ModeSlip:
+		return r.injectHorizon(g, inj, window, mode.Horizon(g.TotalCycles), mode.DetectShift())
+	case ModeTMR:
+		return r.injectTMR(g, inj, window)
+	default:
+		return r.injectHorizon(g, inj, window, g.TotalCycles, 0)
+	}
+}
+
+// InjectModeW is Golden-level InjectMode with pooled scratch, the
+// mode-generalized InjectW.
+func (g *Golden) InjectModeW(inj Injection, mode Mode, window int) Outcome {
+	r := replayerPool.Get().(*Replayer)
+	out := r.InjectMode(g, inj, mode, window)
+	replayerPool.Put(r)
+	return out
+}
+
+// InjectMode runs one experiment under the given mode with the default
+// stop window.
+func (g *Golden) InjectMode(inj Injection, mode Mode) Outcome {
+	return g.InjectModeW(inj, mode, StopLatency)
+}
+
+// InjectLegacyMode is the full-simulation differential oracle for every
+// mode: dual live CPUs for DCLS and slip:N, triple live CPUs with a real
+// majority voter for TMR. It shares no mode-specialization logic with the
+// fast path beyond the Golden snapshots, which is what makes the
+// mode-determinism sample a meaningful cross-check.
+func (g *Golden) InjectLegacyMode(inj Injection, mode Mode, window int) Outcome {
+	switch mode.Kind {
+	case ModeSlip:
+		return g.injectLegacyHorizon(inj, window, mode.Horizon(g.TotalCycles), mode.DetectShift())
+	case ModeTMR:
+		return g.InjectTMRLegacyW(inj, window)
+	default:
+		return g.injectLegacyHorizon(inj, window, g.TotalCycles, 0)
+	}
+}
+
+// injectTMR is the TMR fast path: detection via the replay core (equal to
+// DCLS by the d01==0 argument above), then forward recovery for detected
+// faults. Soft transients need no recheck simulation: the fault forcing
+// is over by the time the cores are reset to the majority architectural
+// state, so all three restart bit-identical against the same bus and stay
+// in lockstep by determinism — Converged is true by construction (the
+// triple-CPU oracle proves this argument on every sampled site). Hard
+// faults keep forcing the flop after recovery, so their recheck is
+// simulated live.
+func (r *Replayer) injectTMR(g *Golden, inj Injection, window int) Outcome {
+	out := r.injectHorizon(g, inj, window, g.TotalCycles, 0)
+	if !out.Detected {
+		return out
+	}
+	if window < 1 {
+		window = 1
+	}
+	if inj.Kind == SoftFlip {
+		out.Converged = true
+		return out
+	}
+	// The stop window ended at cycle e; recovery restores the majority
+	// state captured there.
+	e := out.DetectCycle + window - 1
+	if e > g.TotalCycles-1 {
+		e = g.TotalCycles - 1
+	}
+	out.Converged = g.tmrRecheck(e, inj)
+	return out
+}
+
+// tmrRecheck reconstructs the majority (golden) machine at the end of
+// cycle e on a live system, performs the forward recovery, and reports
+// whether a still-forced hard fault keeps the recovered core in lockstep
+// for TMRRecheckCycles. The memory image at recovery is the golden RAM —
+// the erring core is a compare-only monitor whose writes are dropped —
+// so restoring from the golden snapshots is exact.
+func (g *Golden) tmrRecheck(e int, inj Injection) bool {
+	sys, main, cyc := g.restore(e)
+	for ; cyc < e; cyc++ {
+		main.StepCycle()
+	}
+	recoverTMR(&main.State)
+	red := main.Fork(mem.Monitor{Sys: sys})
+	forceStuck(&red.State, inj)
+	for i := 0; i < TMRRecheckCycles; i++ {
+		om := main.State.Outputs()
+		or := red.State.Outputs()
+		if cpu.Diverge(&om, &or) != 0 {
+			return false
+		}
+		main.StepCycle()
+		red.StepCycle()
+		forceStuck(&red.State, inj)
+	}
+	return true
+}
+
+// recoverTMR applies the forward-recovery state edit of TMR.ForwardRecover
+// to one architectural state: reset at the majority's PC, keep its
+// register file, discard all microarchitectural state.
+func recoverTMR(st *cpu.State) {
+	pc, regs := st.PC, st.Regs
+	st.Reset(pc)
+	st.Regs = regs
+}
+
+// forceStuck re-forces a stuck-at fault; soft faults are left alone (the
+// transient has passed by any recovery point).
+func forceStuck(st *cpu.State, inj Injection) {
+	switch inj.Kind {
+	case Stuck0:
+		cpu.ForceBit(st, inj.Flop, false)
+	case Stuck1:
+		cpu.ForceBit(st, inj.Flop, true)
+	}
+}
+
+// vote3 runs the majority voter over three output vectors, with the same
+// semantics as TMR.Step: when exactly one CPU disagrees its divergence
+// map against the majority is the DSR; when all three disagree the maps
+// are OR-ed and no erring CPU is named.
+func vote3(o0, o1, o2 *cpu.OutVec) VoteResult {
+	d01 := cpu.Diverge(o0, o1)
+	d02 := cpu.Diverge(o0, o2)
+	d12 := cpu.Diverge(o1, o2)
+	switch {
+	case d01 == 0 && d02 == 0 && d12 == 0:
+		return VoteResult{Erring: -1}
+	case d01 == 0:
+		return VoteResult{Diverged: true, DSR: d02, Erring: 2}
+	case d02 == 0:
+		return VoteResult{Diverged: true, DSR: d01, Erring: 1}
+	case d12 == 0:
+		return VoteResult{Diverged: true, DSR: d01, Erring: 0}
+	default:
+		return VoteResult{Diverged: true, DSR: d01 | d02 | d12, Erring: -1}
+	}
+}
+
+// InjectTMRLegacyW is the TMR differential oracle: three live CPUs (bus
+// driver plus two compare-only monitors, the faulty one being CPU 2),
+// a genuine per-cycle majority vote, and the forward-recovery recheck run
+// on the oracle's own cores and memory image. Nothing is read from the
+// golden trace after restore, so agreement with the fast path is evidence
+// rather than tautology.
+func (g *Golden) InjectTMRLegacyW(inj Injection, window int) Outcome {
+	if inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
+		return Outcome{}
+	}
+	if window < 1 {
+		window = 1
+	}
+	sys, main, cyc := g.restore(inj.Cycle)
+	for ; cyc < inj.Cycle; cyc++ {
+		main.StepCycle()
+	}
+	mon := main.Fork(mem.Monitor{Sys: sys})
+	red := main.Fork(mem.Monitor{Sys: sys})
+	switch inj.Kind {
+	case SoftFlip:
+		cpu.FlipBit(&red.State, inj.Flop)
+	case Stuck0:
+		cpu.ForceBit(&red.State, inj.Flop, false)
+	case Stuck1:
+		cpu.ForceBit(&red.State, inj.Flop, true)
+	}
+
+	softArmed := inj.Kind == SoftFlip
+	stepAll := func() {
+		main.StepCycle()
+		mon.StepCycle()
+		red.StepCycle()
+		if softArmed {
+			cpu.ForceBit(&red.State, inj.Flop, cpu.GetBit(&main.State, inj.Flop))
+			softArmed = false
+		}
+		forceStuck(&red.State, inj)
+	}
+	for ; cyc < g.TotalCycles; cyc++ {
+		o0 := main.State.Outputs()
+		o1 := mon.State.Outputs()
+		o2 := red.State.Outputs()
+		if v := vote3(&o0, &o1, &o2); v.Diverged {
+			detect := cyc
+			dsr := v.DSR
+			for w := 1; w < window && cyc+1 < g.TotalCycles; w++ {
+				stepAll()
+				cyc++
+				o0 = main.State.Outputs()
+				o1 = mon.State.Outputs()
+				o2 = red.State.Outputs()
+				dsr |= vote3(&o0, &o1, &o2).DSR
+			}
+			recordDSR("inject", dsr)
+			// Forward recovery on the oracle's own triple: restore the
+			// majority architectural state (main and mon are bit-identical,
+			// either is the majority) into every core — including the
+			// erring one — then watch the vote for TMRRecheckCycles.
+			pc, regs := main.State.PC, main.State.Regs
+			for _, c := range [...]*cpu.CPU{main, mon, red} {
+				c.State.Reset(pc)
+				c.State.Regs = regs
+			}
+			softArmed = false
+			forceStuck(&red.State, inj)
+			conv := true
+			for i := 0; i < TMRRecheckCycles; i++ {
+				o0 = main.State.Outputs()
+				o1 = mon.State.Outputs()
+				o2 = red.State.Outputs()
+				if vote3(&o0, &o1, &o2).Diverged {
+					conv = false
+					break
+				}
+				main.StepCycle()
+				mon.StepCycle()
+				red.StepCycle()
+				forceStuck(&red.State, inj)
+			}
+			return Outcome{Detected: true, DetectCycle: detect, DSR: dsr, Converged: conv}
+		}
+		if inj.Kind == SoftFlip && !softArmed && red.State == main.State {
+			return Outcome{Converged: true}
+		}
+		stepAll()
+	}
+	return Outcome{}
+}
+
+// PruneMode is the mode-generalized Golden.Prune. DCLS and TMR share the
+// DCLS pruning table verbatim: a prunable site never detects, so the TMR
+// recovery phase — the only behavioral difference — never runs. Under
+// slip:N the horizon shrinks to TotalCycles-N: sites at or past it are
+// masked by construction, the soft "injected on the last compared cycle"
+// special case moves to horizon-1, and the stuck-at value-stability
+// argument carries over unchanged (it proves stability to TotalCycles, a
+// superset of the truncated window — an over-approximation that can cost
+// coverage, never soundness).
+func (g *Golden) PruneMode(inj Injection, mode Mode) (Outcome, bool) {
+	if mode.Kind != ModeSlip {
+		return g.Prune(inj)
+	}
+	horizon := mode.Horizon(g.TotalCycles)
+	if mode.Slip < 0 || horizon <= 0 || inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
+		return Outcome{}, false
+	}
+	if inj.Cycle >= horizon {
+		// Beyond the truncated horizon the injection loop never runs.
+		return Outcome{}, true
+	}
+	out, ok := g.Prune(inj)
+	if !ok {
+		return Outcome{}, false
+	}
+	if out.Converged && inj.Cycle == horizon-1 {
+		// The injection loop exits before the first convergence check is
+		// due, so the simulated outcome is Masked, not Converged.
+		return Outcome{}, true
+	}
+	return out, true
+}

@@ -350,7 +350,18 @@ func (g *Golden) InjectLegacy(inj Injection) Outcome {
 
 // InjectLegacyW is InjectLegacy with an explicit checker stop window.
 func (g *Golden) InjectLegacyW(inj Injection, window int) Outcome {
-	if inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
+	return g.injectLegacyHorizon(inj, window, g.TotalCycles, 0)
+}
+
+// injectLegacyHorizon is the dual-CPU oracle generalized over the
+// lockstep mode, mirroring Replayer.injectHorizon: `horizon` bounds the
+// compared program cycles and `shift` moves detection cycles to the wall
+// clock (see the mode rationale there).
+func (g *Golden) injectLegacyHorizon(inj Injection, window, horizon, shift int) Outcome {
+	if horizon > g.TotalCycles {
+		horizon = g.TotalCycles
+	}
+	if inj.Cycle < 0 || inj.Cycle >= horizon {
 		return Outcome{}
 	}
 	if window < 1 {
@@ -395,7 +406,7 @@ func (g *Golden) InjectLegacyW(inj Injection, window int) Outcome {
 			cpu.ForceBit(&red.State, inj.Flop, true)
 		}
 	}
-	for ; cyc < g.TotalCycles; cyc++ {
+	for ; cyc < horizon; cyc++ {
 		om := main.State.Outputs()
 		or := red.State.Outputs()
 		if dsr := cpu.Diverge(&om, &or); dsr != 0 {
@@ -403,8 +414,8 @@ func (g *Golden) InjectLegacyW(inj Injection, window int) Outcome {
 			// window to actually halt the CPUs; the DSR keeps
 			// OR-accumulating per-SC divergences during that window
 			// (Figure 6's DSR bits are set, never cleared, until read).
-			detect := cyc
-			for w := 1; w < window && cyc+1 < g.TotalCycles; w++ {
+			detect := cyc + shift
+			for w := 1; w < window && cyc+1 < horizon; w++ {
 				stepFaulty()
 				cyc++
 				om = main.State.Outputs()

@@ -88,7 +88,25 @@ func NewReplayer() *Replayer { return &Replayer{} }
 //     golden state, so a hash collision can cost time but never flip an
 //     outcome.
 func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
-	if inj.Cycle < 0 || inj.Cycle >= g.TotalCycles {
+	return r.injectHorizon(g, inj, window, g.TotalCycles, 0)
+}
+
+// injectHorizon is the replay injection core, generalized over the
+// lockstep mode: the run compares the first `horizon` cycles of the
+// golden trace (DCLS/TMR compare all TotalCycles; an N-cycle slip only
+// ever checks TotalCycles-N program cycles before the campaign horizon),
+// and `shift` converts program-space detection cycles to wall-clock ones
+// (the delayed checker of slip:N sees program cycle c at wall cycle c+N).
+//
+// The main CPU is fault-free in every mode, so in program space the
+// redundant CPU's environment under slip IS the DCLS environment: the
+// same golden trace drives the replay, only the loop bound and the
+// reported DetectCycle move. slip:0 is therefore DCLS by construction.
+func (r *Replayer) injectHorizon(g *Golden, inj Injection, window, horizon, shift int) Outcome {
+	if horizon > g.TotalCycles {
+		horizon = g.TotalCycles
+	}
+	if inj.Cycle < 0 || inj.Cycle >= horizon {
 		return Outcome{}
 	}
 	if window < 1 {
@@ -155,7 +173,7 @@ func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
 			cpu.ForceBit(&red.State, inj.Flop, true)
 		}
 	}
-	for cyc := inj.Cycle; cyc < g.TotalCycles; cyc++ {
+	for cyc := inj.Cycle; cyc < horizon; cyc++ {
 		or := red.State.Outputs()
 		// Whole-vector equality (a memcmp) gates the per-SC reduction:
 		// Diverge sets bit i exactly when element i differs, so the DSR is
@@ -165,8 +183,8 @@ func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
 			dsr := cpu.Diverge(g.trace.outAt(cyc), &or)
 			// Error detected; the DSR keeps OR-accumulating per-SC
 			// divergences during the checker stop window.
-			detect := cyc
-			for w := 1; w < window && cyc+1 < g.TotalCycles; w++ {
+			detect := cyc + shift
+			for w := 1; w < window && cyc+1 < horizon; w++ {
 				stepFaulty(cyc)
 				cyc++
 				or = red.State.Outputs()
@@ -175,7 +193,7 @@ func (r *Replayer) InjectW(g *Golden, inj Injection, window int) Outcome {
 			recordDSR("inject", dsr)
 			return Outcome{Detected: true, DetectCycle: detect, DSR: dsr}
 		}
-		if inj.Kind == SoftFlip && !softArmed && softCheckDue(cyc, inj.Cycle, g.TotalCycles) &&
+		if inj.Kind == SoftFlip && !softArmed && softCheckDue(cyc, inj.Cycle, horizon) &&
 			uint32(cpu.Fingerprint(&red.State)) == g.trace.fp[cyc] &&
 			red.State == r.goldenStateAt(g, cyc) {
 			return Outcome{Converged: true}

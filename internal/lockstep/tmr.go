@@ -18,10 +18,16 @@ type TMR struct {
 	Sys   *mem.System
 	Cycle int
 
-	// Fault forcing applied to one CPU, mirroring the Inject harness.
-	fault    Injection
-	faultCPU int
-	faultOn  bool
+	// Fault forcing applied per CPU, mirroring the Inject harness. Arm
+	// accumulates, so multi-fault scenarios (two CPUs erring at once —
+	// the voter-ambiguity case TMR cannot recover from) are expressible.
+	faults []armedFault
+}
+
+// armedFault is one scheduled fault forcing on one CPU of the triple.
+type armedFault struct {
+	inj Injection
+	cpu int
 }
 
 // NewTMR builds a triple lockstep system running the kernel.
@@ -41,10 +47,10 @@ func NewTMR(k *workload.Kernel) (*TMR, error) {
 }
 
 // Arm schedules fault forcing on one CPU (0..2) starting at inj.Cycle.
+// Successive calls accumulate: arming faults on two CPUs models the
+// double-fault case where the majority vote becomes ambiguous.
 func (t *TMR) Arm(cpuIdx int, inj Injection) {
-	t.fault = inj
-	t.faultCPU = cpuIdx
-	t.faultOn = true
+	t.faults = append(t.faults, armedFault{inj: inj, cpu: cpuIdx})
 }
 
 // VoteResult is the majority voter's view of one cycle.
@@ -61,23 +67,27 @@ func (t *TMR) Step() VoteResult {
 	for i := range t.CPUs {
 		t.CPUs[i].StepCycle()
 	}
-	if t.faultOn && t.Cycle >= t.fault.Cycle {
-		st := &t.CPUs[t.faultCPU].State
-		switch t.fault.Kind {
+	for i := range t.faults {
+		f := &t.faults[i]
+		if t.Cycle < f.inj.Cycle {
+			continue
+		}
+		st := &t.CPUs[f.cpu].State
+		switch f.inj.Kind {
 		case SoftFlip:
 			switch t.Cycle {
-			case t.fault.Cycle:
-				cpu.FlipBit(st, t.fault.Flop)
-			case t.fault.Cycle + 1:
+			case f.inj.Cycle:
+				cpu.FlipBit(st, f.inj.Flop)
+			case f.inj.Cycle + 1:
 				// The transient passes: restore the flop to the value a
-				// fault-free CPU holds.
-				ref := &t.CPUs[(t.faultCPU+1)%3].State
-				cpu.ForceBit(st, t.fault.Flop, cpu.GetBit(ref, t.fault.Flop))
+				// (presumed) fault-free neighbour CPU holds.
+				ref := &t.CPUs[(f.cpu+1)%3].State
+				cpu.ForceBit(st, f.inj.Flop, cpu.GetBit(ref, f.inj.Flop))
 			}
 		case Stuck0:
-			cpu.ForceBit(st, t.fault.Flop, false)
+			cpu.ForceBit(st, f.inj.Flop, false)
 		case Stuck1:
-			cpu.ForceBit(st, t.fault.Flop, true)
+			cpu.ForceBit(st, f.inj.Flop, true)
 		}
 	}
 	o0 := t.CPUs[0].State.Outputs()
@@ -119,6 +129,6 @@ func (t *TMR) ForwardRecover(majority int) uint32 {
 		t.CPUs[i].State.Reset(pc)
 		t.CPUs[i].State.Regs = regs
 	}
-	t.faultOn = false
+	t.faults = t.faults[:0]
 	return pc
 }

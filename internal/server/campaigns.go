@@ -37,6 +37,12 @@ type campaignRequest struct {
 	Kinds                 []string `json:"kinds,omitempty"`
 	StopLatency           int      `json:"stop_latency,omitempty"`
 	Seed                  int64    `json:"seed,omitempty"`
+	// Mode is the lockstep organization the campaign runs under: "dcls"
+	// (default), "slip:N" or "tmr". Mode is schedule-relevant — it is
+	// part of the fingerprint, the job ID, the checkpoint and every
+	// dataset row — so two submissions differing only in mode are two
+	// jobs.
+	Mode string `json:"mode,omitempty"`
 	// Workers is the per-job experiment pool; clamped to the server's
 	// InjectWorkers cap. Dataset bytes are identical at any value.
 	Workers int `json:"workers,omitempty"`
@@ -141,6 +147,11 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 		return req, inject.Config{}, &apiError{Status: http.StatusBadRequest, Code: "invalid_config",
 			Message: fmt.Sprintf("train_granularity must be 7 or 13, not %d", req.TrainGranularity), Field: "train_granularity"}
 	}
+	mode, err := lockstep.ParseMode(req.Mode)
+	if err != nil {
+		return req, inject.Config{}, &apiError{Status: http.StatusBadRequest, Code: "invalid_config",
+			Message: err.Error(), Field: "mode"}
+	}
 	cfg := inject.Config{
 		Kernels:               req.Kernels,
 		RunCycles:             req.RunCycles,
@@ -152,6 +163,7 @@ func parseCampaignRequest(data []byte, maxWorkers int) (campaignRequest, inject.
 		Seed:                  req.Seed,
 		Workers:               req.Workers,
 		NoPrune:               req.NoPrune,
+		Mode:                  mode,
 	}
 	if maxWorkers > 0 && (cfg.Workers == 0 || cfg.Workers > maxWorkers) {
 		cfg.Workers = maxWorkers

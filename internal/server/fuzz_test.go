@@ -116,6 +116,12 @@ func FuzzCampaignRequest(f *testing.F) {
 	f.Add([]byte(`{"unknown_field":1}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"kernels":[""]}`))
+	f.Add([]byte(`{"kernels":["ttsprk"],"run_cycles":3000,"flop_stride":24,"seed":9,"mode":"slip:16"}`))
+	f.Add([]byte(`{"mode":"tmr"}`))
+	f.Add([]byte(`{"mode":"slip:-3"}`))
+	f.Add([]byte(`{"mode":"slip:007"}`))
+	f.Add([]byte(`{"run_cycles":100,"mode":"slip:100"}`))
+	f.Add([]byte(`{"mode":"bogus"}`))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		_, cfg, err := parseCampaignRequest(body, 4)

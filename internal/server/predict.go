@@ -51,6 +51,18 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	// A client that states which lockstep mode it is deployed under is
+	// refused when the live table was trained under a different one: a
+	// slip:N table encodes slip-shifted detection latencies, a tmr table
+	// encodes post-recovery outcomes, and serving either to a dcls
+	// deployment (or vice versa) would be a silent model/plant mismatch.
+	// The check stays off the zero-alloc hot path: Header.Get does not
+	// allocate and mode.String() runs only when the header is present.
+	if want := r.Header.Get("X-Lockstep-Mode"); want != "" && want != b.mode.String() {
+		return &apiError{Status: http.StatusConflict, Code: "mode_mismatch",
+			Message: fmt.Sprintf("live table %s was trained under mode %s, request requires %s",
+				b.version, b.mode, want), Field: "mode"}
+	}
 	sc := getPredictScratch()
 	defer putPredictScratch(sc)
 

@@ -18,6 +18,7 @@ import (
 
 	"lockstep/internal/core"
 	"lockstep/internal/dataset"
+	"lockstep/internal/lockstep"
 	"lockstep/internal/sbist"
 	"lockstep/internal/telemetry"
 )
@@ -50,22 +51,41 @@ type tableBundle struct {
 	dense *denseTable
 	cfg   sbist.Config
 	// image is the serialized form (core.Table.WriteTo) — the same bytes
-	// lockstep-train -o writes — and version is the first 8 bytes of its
-	// SHA-256, hex-encoded: two trainings that produce byte-identical
-	// images are the same version.
+	// lockstep-train -o writes — and version is the first 8 bytes of the
+	// SHA-256 over the image (plus the mode string for non-dcls bundles),
+	// hex-encoded: two trainings that produce byte-identical images under
+	// the same mode are the same version.
 	image   []byte
 	version string
 	etag    string // `"` + version + `"`, precomputed for the hot path
 	source  string // "startup", "upload", "campaign <id>", "adopted"
+	// mode is the lockstep mode of the campaign the training dataset came
+	// from (the zero value is dcls). A predict request that names a mode
+	// via the X-Lockstep-Mode header is refused with 409 mode_mismatch
+	// when it does not match: a table trained on slip:N outcomes encodes
+	// slip-shifted detection latencies and must not silently serve a dcls
+	// (or tmr) deployment.
+	mode lockstep.Mode
 }
 
 // newTableBundle builds the immutable serving form of a trained table.
-func newTableBundle(table *core.Table, cfg sbist.Config, source string) (*tableBundle, error) {
+func newTableBundle(table *core.Table, cfg sbist.Config, source string, mode lockstep.Mode) (*tableBundle, error) {
 	var buf bytes.Buffer
 	if _, err := table.WriteTo(&buf); err != nil {
 		return nil, fmt.Errorf("serializing table: %w", err)
 	}
-	sum := sha256.Sum256(buf.Bytes())
+	// The mode folds into the version for non-dcls bundles: two trainings
+	// with byte-identical images are the same version only under the same
+	// mode, so a tmr table can never dedupe onto a slip bundle (their
+	// serving contracts differ even when the learned entries coincide).
+	// dcls versions stay the pure image hash — every pre-mode .lspt file
+	// keeps its identity.
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	if mode != (lockstep.Mode{}) {
+		h.Write([]byte(mode.String()))
+	}
+	sum := h.Sum(nil)
 	version := hex.EncodeToString(sum[:8])
 	dense, err := newDenseTable(table, cfg)
 	if err != nil {
@@ -79,6 +99,7 @@ func newTableBundle(table *core.Table, cfg sbist.Config, source string) (*tableB
 		version: version,
 		etag:    `"` + version + `"`,
 		source:  source,
+		mode:    mode,
 	}, nil
 }
 
@@ -121,7 +142,7 @@ func newTableManager(opt Options) (*tableManager, error) {
 		}
 	}
 	if opt.Table != nil {
-		b, err := newTableBundle(opt.Table, opt.SBIST, "startup")
+		b, err := newTableBundle(opt.Table, opt.SBIST, "startup", lockstep.Mode{})
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +178,18 @@ func (m *tableManager) adopt() error {
 		if err != nil {
 			return fmt.Errorf("table image %s: %w", name, err)
 		}
-		b, err := newTableBundle(table, sbist.NewConfig(table.Gran, nil, m.access), "adopted")
+		// The .lspt image format predates modes and cannot carry one;
+		// non-dcls bundles persist their mode in a <version>.mode sidecar.
+		mode := lockstep.Mode{}
+		if data, err := os.ReadFile(strings.TrimSuffix(name, ".lspt") + ".mode"); err == nil {
+			mode, err = lockstep.ParseMode(strings.TrimSpace(string(data)))
+			if err != nil {
+				return fmt.Errorf("table mode sidecar for %s: %w", name, err)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		b, err := newTableBundle(table, sbist.NewConfig(table.Gran, nil, m.access), "adopted", mode)
 		if err != nil {
 			return fmt.Errorf("table image %s: %w", name, err)
 		}
@@ -201,6 +233,11 @@ func (m *tableManager) register(b *tableBundle) (*tableBundle, error) {
 	if m.dir != "" {
 		if err := writeFileAtomic(filepath.Join(m.dir, b.version+".lspt"), b.image); err != nil {
 			return nil, err
+		}
+		if b.mode != (lockstep.Mode{}) {
+			if err := writeFileAtomic(filepath.Join(m.dir, b.version+".mode"), []byte(b.mode.String()+"\n")); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return b, nil
@@ -266,9 +303,14 @@ type trainSpec struct {
 // path lockstep-train takes) over a dataset, registers the resulting
 // bundle and returns it.
 func (m *tableManager) train(ds *dataset.Dataset, spec trainSpec, source string) (*tableBundle, error) {
+	mode, err := ds.Mode()
+	if err != nil {
+		return nil, &apiError{Status: http.StatusBadRequest, Code: "invalid_dataset",
+			Message: err.Error(), Field: "dataset"}
+	}
 	rng := rand.New(rand.NewSource(spec.seed))
 	table, _, _ := core.TrainSplit(ds, rng, spec.gran, spec.topK, spec.frac)
-	b, err := newTableBundle(table, sbist.NewConfig(spec.gran, nil, m.access), source)
+	b, err := newTableBundle(table, sbist.NewConfig(spec.gran, nil, m.access), source, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -385,6 +427,9 @@ func (s *Server) requireTable() (*tableBundle, error) {
 type tableJSON struct {
 	Version     string `json:"version"`
 	Granularity string `json:"granularity"`
+	// Mode is the lockstep mode of the training campaign; omitted for
+	// dcls, the pre-mode wire shape.
+	Mode string `json:"mode,omitempty"`
 	Sets        int    `json:"sets"`
 	TopK        int    `json:"topk,omitempty"`
 	TableBits   int    `json:"table_bits"`
@@ -393,7 +438,7 @@ type tableJSON struct {
 }
 
 func bundleJSON(b *tableBundle, active bool) tableJSON {
-	return tableJSON{
+	j := tableJSON{
 		Version:     b.version,
 		Granularity: b.table.Gran.String(),
 		Sets:        b.table.Dict.Len(),
@@ -402,6 +447,10 @@ func bundleJSON(b *tableBundle, active bool) tableJSON {
 		Source:      b.source,
 		Active:      active,
 	}
+	if b.mode != (lockstep.Mode{}) {
+		j.Mode = b.mode.String()
+	}
+	return j
 }
 
 // handleTablesList serves GET /v1/tables: every registered version, which
